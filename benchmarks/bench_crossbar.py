@@ -1,0 +1,55 @@
+"""Microbenchmarks of the PIM crossbar substrate itself.
+
+Not a paper table — these time the simulation machinery (array MVM,
+differential mapping, chip deployment) and verify the ideal-chip path
+stays exactly equal to the fake-quant path while being benchmarked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.pim import ADC, CrossbarArray, PimChip
+from repro.quant import QConfig, QuantLinear
+from repro.variability.sampler import VariabilitySpec
+
+
+def _deployed_chip(rng):
+    layer = QuantLinear(512, 128, QConfig(activation_bits=8, weight_bits=4))
+    layer.weight.data = rng.normal(size=(128, 512)) * 0.1
+    layer.refresh_weight_scale()
+    layer.set_activation_scale(0.02)
+    chip = PimChip(VariabilitySpec.null(), array_rows=256, array_cols=128, seed=0)
+    mapped = chip.deploy_linear(layer, "fc")
+    return layer, mapped
+
+
+def test_crossbar_mvm_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    array = CrossbarArray(512, 512, adc=ADC(ideal=True))
+    array.program(rng.uniform(0, 1, size=(512, 512)))
+    x = rng.integers(-127, 128, size=(32, 512)).astype(float)
+    benchmark(array.mvm, x)
+
+
+def test_chip_linear_inference(benchmark):
+    rng = np.random.default_rng(1)
+    layer, mapped = _deployed_chip(rng)
+    x = rng.normal(size=(32, 512)) * 0.3
+    result = benchmark(mapped.forward, x)
+    with no_grad():
+        expected = layer(Tensor(x)).data
+    assert np.allclose(result, expected, atol=1e-9)
+
+
+def test_fake_quant_inference(benchmark):
+    rng = np.random.default_rng(1)
+    layer, _ = _deployed_chip(rng)
+    x = Tensor(rng.normal(size=(32, 512)) * 0.3)
+
+    def forward():
+        with no_grad():
+            return layer(x).data
+
+    benchmark(forward)

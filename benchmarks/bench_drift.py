@@ -1,0 +1,97 @@
+"""Footnote-2 extension: self-tuning compensates temperature drift / aging.
+
+Not a numbered figure in the paper, but a claim it makes in Sec. III-B
+footnote 2: the self-tuning architecture "can be generalized to compensate
+for any correlated weight variation, e.g., due to temperature drifts or
+aging".  This bench quantifies that generalization:
+
+* a QAVAT model (trained against within-chip variation) is deployed on a
+  chip whose correlated epsilon drifts with operating time (OU temperature
+  process + log-time aging);
+* mean accuracy over the timeline is compared for three GTM re-measurement
+  policies: never (deployment-time measurement only), periodic, and every
+  inference.
+
+Expected shape: never << periodic <= every; the stale policy decays toward
+chance as the drift escapes the deployment-time estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, spec_from, trained, write_result
+from repro.experiments.tables import format_table
+from repro.pim.drift import AgingDrift, DriftingChip, TemperatureDrift
+from repro.selftuning import (
+    DriftCompensator,
+    SelfTuningConfig,
+    attach_self_tuning,
+    detach_self_tuning,
+    run_drift_timeline,
+)
+from repro.variability.sampler import VariabilitySampler
+
+SIGMA_WITHIN = 0.3
+POLICIES = ("never", "periodic", "every")
+
+
+class _CombinedDrift:
+    def __init__(self) -> None:
+        self.temperature = TemperatureDrift(theta=0.05, sigma=0.1, amplitude=0.12, period=24.0)
+        self.aging = AgingDrift(nu=0.04, t0=1.0)
+
+    def reset(self) -> None:
+        self.temperature.reset()
+
+    def epsilon_at(self, time: float, rng: np.random.Generator) -> float:
+        return self.temperature.epsilon_at(time, rng) + self.aging.epsilon_at(time, rng)
+
+
+def _run_drift() -> str:
+    scale = bench_scale()
+    model, test = trained(
+        "qavat", "lenet5", "mnist", "A4W2", SIGMA_WITHIN, 0.0, "weight-proportional"
+    )
+    spec = spec_from(SIGMA_WITHIN, 0.0, "weight-proportional")
+    times = np.linspace(0.0, 48.0, 9)
+    attach_self_tuning(model, SelfTuningConfig(kind="global", gtm_cells=10_000))
+
+    num_chips = max(scale.num_chips // 10, 3)
+    mean_by_policy: dict[str, float] = {}
+    final_by_policy: dict[str, float] = {}
+    for policy in POLICIES:
+        means, finals = [], []
+        for chip_index in range(num_chips):
+            base = VariabilitySampler(spec, seed=1000 + chip_index).sample_chip()
+            chip = DriftingChip(base, _CombinedDrift(), seed=chip_index)
+            compensator = DriftCompensator(policy=policy, period=8.0)
+            timeline = run_drift_timeline(model, test, chip, spec, times, compensator)
+            accuracies = [accuracy for _, _, accuracy in timeline]
+            means.append(float(np.mean(accuracies)))
+            finals.append(accuracies[-1])
+        mean_by_policy[policy] = 100 * float(np.mean(means))
+        final_by_policy[policy] = 100 * float(np.mean(finals))
+    detach_self_tuning(model)
+
+    rows = [
+        [policy, mean_by_policy[policy], final_by_policy[policy]]
+        for policy in POLICIES
+    ]
+    return format_table(
+        ["re-measurement policy", "mean acc % (0-48h)", "final acc % (48h)"],
+        rows,
+        title=(
+            "Self-tuning under temperature drift + aging "
+            f"(sigma_W={SIGMA_WITHIN}, {num_chips} chips; footnote-2 extension)"
+        ),
+    )
+
+
+def test_drift_compensation(benchmark):
+    text = benchmark.pedantic(_run_drift, rounds=1, iterations=1)
+    write_result("drift", text)
+    lines = [line for line in text.splitlines() if line and line[0] in "nep"]
+    values = {line.split()[0]: float(line.split()[-2]) for line in lines}
+    # Fresh measurements must beat the stale deployment-time estimate.
+    assert values["every"] > values["never"]

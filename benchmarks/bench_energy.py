@@ -1,0 +1,86 @@
+"""Cost-model bench: PIM vs digital energy, and self-tuning energy overhead.
+
+Grounds the paper's motivation (analog PIM's energy advantage, ref [1]) and
+its Sec. III-B overhead accounting in the event-based cost model of
+:mod:`repro.pim.energy`.  Absolute numbers depend on the per-event
+constants; the reproduced claims are the *ratios*: PIM beats digital MACs
+at realistic DAC widths, and self-tuning adds percent-level energy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.experiments.tables import format_table
+from repro.models import build_model
+from repro.pim.energy import (
+    PimCostEstimator,
+    digital_baseline_cost,
+    geometries_from_model,
+)
+from repro.quant import QConfig, calibrate_model, convert_to_quantized
+
+
+def _vgg_geometries():
+    rng = np.random.default_rng(0)
+    model = build_model("vgg11")
+    model = convert_to_quantized(model, QConfig.from_notation("A8W4"))
+    calibrate_model(model, [rng.normal(size=(2, 3, 32, 32))])
+    return geometries_from_model(model, (3, 32, 32))
+
+
+def _run_energy() -> str:
+    geometries = _vgg_geometries()
+    digital = digital_baseline_cost(geometries)
+
+    pim_rows = []
+    for label, kwargs in (
+        ("8-bit DAC, 4-bit cells", dict(input_cycles=1, weight_slices=1)),
+        ("bit-serial DAC", dict(input_cycles=8, weight_slices=1)),
+        ("bit-serial, 2-bit cells", dict(input_cycles=8, weight_slices=2)),
+    ):
+        report = PimCostEstimator(**kwargs).model_cost(geometries)
+        pim_rows.append(
+            [label, report.energy_uj, digital.energy_pj / report.energy_pj]
+        )
+
+    estimator = PimCostEstimator(input_cycles=8, weight_slices=1)
+    base = estimator.model_cost(geometries)
+    st_rows = []
+    for gtm_cells, ltm_columns in ((1_000, 1), (100_000, 1), (100_000, 8), (100_000, 16)):
+        tuning = estimator.self_tuning_cost(geometries, gtm_cells, ltm_columns)
+        st_rows.append(
+            [gtm_cells, ltm_columns, tuning.energy_pj / 1000,
+             100 * tuning.energy_pj / base.energy_pj]
+        )
+
+    parts = [
+        format_table(
+            ["PIM configuration", "energy uJ", "digital/PIM ratio"],
+            pim_rows,
+            title=(
+                f"VGG-11 inference energy (digital MAC baseline "
+                f"{digital.energy_uj:.1f} uJ)"
+            ),
+        ),
+        format_table(
+            ["GTM cells", "LTM cols", "ST energy nJ", "% of base"],
+            st_rows,
+            title="Self-tuning energy increment (VGG-11, bit-serial base)",
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+def test_energy(benchmark):
+    text = benchmark.pedantic(_run_energy, rounds=1, iterations=1)
+    write_result("energy", text)
+    assert "digital/PIM ratio" in text
+    # The default LTM=1 deployment must stay at percent-level energy cost.
+    ltm1 = [
+        line.split()
+        for line in text.splitlines()
+        if line.split()[:2] == ["100000", "1"]
+    ]
+    assert ltm1 and float(ltm1[0][-1]) < 5.0

@@ -1,0 +1,78 @@
+"""Fig. 5: QAVAT under within-chip-only vs mixed-type variation.
+
+Paper setting: ResNet-18/CIFAR-100, QAVAT trained per sigma, evaluated
+under (1) within-chip variation only and (2) mixed-type variation
+(sigma_B = sigma_W, same sigma_tot).  On both variance models, mixed-type
+degradation is far more destructive — training alone cannot absorb the
+correlated component.  At sigma_tot = 0.5 the paper reports ~54% accuracy
+loss for ResNet-18.
+
+The QAVAT models are trained against within-chip variation at the same
+sigma_tot, exactly as in the paper's deployment flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, spec_from, trained, write_result
+from repro.eval.robustness import evaluate_robustness
+from repro.experiments.tables import format_series
+
+SIGMAS = (0.1, 0.3, 0.5)
+VARIANCE_MODELS = ("weight-proportional", "layer-fixed")
+
+
+def _workload() -> tuple[str, str]:
+    if bench_scale().name == "paper":
+        return "resnet18", "cifar100"
+    return "lenet5", "mnist"
+
+
+def _run_fig5() -> str:
+    scale = bench_scale()
+    model_name, workload = _workload()
+    blocks = []
+    for variance_model in VARIANCE_MODELS:
+        series: dict[str, list[float]] = {"within-chip": [], "mixed-type": []}
+        for sigma_tot in SIGMAS:
+            model, test = trained(
+                "qavat", model_name, workload, "A4W2", sigma_tot, 0.0, variance_model
+            )
+            within = spec_from(sigma_tot, 0.0, variance_model)
+            sigma_each = sigma_tot / np.sqrt(2.0)
+            mixed = spec_from(sigma_each, sigma_each, variance_model)
+            series["within-chip"].append(
+                100
+                * evaluate_robustness(
+                    model, test, within, num_chips=scale.num_chips, seed=42
+                ).mean
+            )
+            series["mixed-type"].append(
+                100
+                * evaluate_robustness(
+                    model, test, mixed, num_chips=scale.num_chips, seed=42
+                ).mean
+            )
+        blocks.append(
+            format_series(
+                "sigma_tot",
+                list(SIGMAS),
+                series,
+                title=(
+                    f"Fig. 5 QAVAT, {variance_model} — {model_name}/{workload}, "
+                    f"scale={scale.name}"
+                ),
+            )
+        )
+    blocks.append(
+        "paper shape: mixed-type curves fall far below within-chip curves "
+        "(ResNet-18 loses ~54% at sigma_tot=0.5, weight-proportional)"
+    )
+    return "\n\n".join(blocks)
+
+
+def test_fig5(benchmark):
+    text = benchmark.pedantic(_run_fig5, rounds=1, iterations=1)
+    write_result("fig5", text)
+    assert "mixed-type" in text

@@ -1,0 +1,71 @@
+"""Fig. 7b: self-tuning design space — GTM cell count and LTM columns.
+
+Paper setting: ResNet-18, mixed-type variation, layer-fixed variance.
+Accuracy improves with the number of GTM cells (diminishing returns;
+larger sigma needs more cells before the curve flattens), and more LTM
+columns help chiefly at the highest variance (sigma = 0.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, resnet_workload, spec_from, trained, write_result
+from repro.eval.robustness import evaluate_robustness
+from repro.experiments.tables import format_series
+from repro.selftuning import SelfTuningConfig, attach_self_tuning, detach_self_tuning
+
+GTM_CELLS = (10, 100, 1000, 10_000, 100_000)
+LTM_COLUMNS = (1, 16)
+SIGMA_TOTALS = (0.1, 0.5)
+VARIANCE_MODEL = "layer-fixed"
+
+
+def _run_fig7b() -> str:
+    scale = bench_scale()
+    model_name, workload = resnet_workload()
+    blocks = []
+    for sigma_tot in SIGMA_TOTALS:
+        sigma_each = sigma_tot / np.sqrt(2.0)
+        model, test = trained(
+            "qavat", model_name, workload, "A4W2", sigma_each, 0.0, VARIANCE_MODEL
+        )
+        eval_spec = spec_from(sigma_each, sigma_each, VARIANCE_MODEL)
+        series: dict[str, list[float]] = {}
+        for columns in LTM_COLUMNS:
+            accs = []
+            for cells in GTM_CELLS:
+                attach_self_tuning(
+                    model,
+                    SelfTuningConfig(kind="layer", gtm_cells=cells, ltm_columns=columns),
+                )
+                accs.append(
+                    100
+                    * evaluate_robustness(
+                        model, test, eval_spec, num_chips=scale.num_chips, seed=42
+                    ).mean
+                )
+            series[f"LTM={columns}"] = accs
+        detach_self_tuning(model)
+        blocks.append(
+            format_series(
+                "gtm_cells",
+                [f"1e{int(np.log10(c))}" for c in GTM_CELLS],
+                series,
+                title=(
+                    f"Fig. 7b ST sizing, sigma_tot={sigma_tot} — "
+                    f"{model_name}/{workload}, scale={scale.name}"
+                ),
+            )
+        )
+    blocks.append(
+        "paper shape: accuracy rises with GTM cells then saturates; extra LTM "
+        "columns matter most at sigma=0.5."
+    )
+    return "\n\n".join(blocks)
+
+
+def test_fig7b(benchmark):
+    text = benchmark.pedantic(_run_fig7b, rounds=1, iterations=1)
+    write_result("fig7b", text)
+    assert "gtm_cells" in text

@@ -1,0 +1,84 @@
+"""Ablation: per-tensor (paper) vs per-channel weight scales under QAVAT.
+
+Per-channel quantization is the standard refinement over the paper's
+per-tensor MMSE scales; it costs a digital multiplier per crossbar column
+group.  This bench trains QAVAT both ways at a low weight bitwidth and
+compares clean and robust accuracy, plus the pure quantization MSE of the
+trained weights — separating the representation benefit (MSE) from the
+robustness interaction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, spec_from, write_result
+from repro.datasets.loaders import batch_source
+from repro.eval.robustness import evaluate_clean, evaluate_robustness
+from repro.experiments.configs import dataset_for, model_for
+from repro.experiments.tables import format_table
+from repro.quant.perchannel import per_channel_quantization_mse
+from repro.quant.ptq import quantized_layers
+from repro.quant.qconfig import QConfig
+from repro.quant.scaling import mmse_scale, quantization_mse
+from repro.training.baselines import train_qavat
+
+SIGMA = 0.3
+NOTATION = "A4W2"
+
+
+def _weight_mse(model, per_channel: bool) -> float:
+    errors = []
+    for _, layer in quantized_layers(model):
+        w = layer.weight.data
+        if per_channel:
+            errors.append(per_channel_quantization_mse(w, layer.weight_spec))
+        else:
+            scale = mmse_scale(w, layer.weight_spec)
+            errors.append(quantization_mse(w, scale, layer.weight_spec))
+    return float(np.mean(errors))
+
+
+def _run_perchannel() -> str:
+    scale = bench_scale()
+    spec = spec_from(SIGMA, 0.0, "weight-proportional")
+    rows = []
+    for per_channel in (False, True):
+        train, test = dataset_for("mnist", scale)
+        model = model_for("lenet5", "mnist", scale, seed=41)
+        qconfig = QConfig.from_notation(NOTATION, per_channel_weights=per_channel)
+        train_qavat(
+            model,
+            batch_source(train, scale.batch_size, seed=0),
+            qconfig,
+            spec,
+            epochs=scale.train_epochs,
+            lr=scale.lr,
+            float_pretrain_epochs=scale.float_pretrain_epochs,
+        )
+        clean = evaluate_clean(model, test)
+        robust = evaluate_robustness(model, test, spec, num_chips=scale.num_chips)
+        rows.append(
+            [
+                "per-channel" if per_channel else "per-tensor",
+                100 * clean,
+                100 * robust.mean,
+                _weight_mse(model, per_channel),
+            ]
+        )
+    return format_table(
+        ["weight scales", "clean %", "robust %", "weight MSE"],
+        rows,
+        title=(
+            f"Per-tensor (paper) vs per-channel weight scales "
+            f"(LeNet/{NOTATION}, sigma_W={SIGMA})"
+        ),
+    )
+
+
+def test_perchannel(benchmark):
+    text = benchmark.pedantic(_run_perchannel, rounds=1, iterations=1)
+    write_result("perchannel", text)
+    lines = {line.split()[0]: line.split() for line in text.splitlines() if "per-" in line}
+    # Per-channel never hurts representation: lower or equal weight MSE.
+    assert float(lines["per-channel"][-1]) <= float(lines["per-tensor"][-1]) + 1e-9

@@ -1,0 +1,84 @@
+"""Design-space exploration of self-tuning sizing (Fig. 7b style).
+
+Sweeps the two ST sizing knobs on one trained model:
+
+* GTM cells — reduces the variance of the eps_B estimate (1/sqrt(n));
+* LTM columns — reduces the variance of the per-layer input-sum estimate.
+
+For each point the script reports mean accuracy plus the area/compute cost
+from :mod:`repro.selftuning.overhead`, so the size-quality trade-off the
+paper discusses is directly visible.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro import QConfig, VariabilitySpec, evaluate_robustness, train_qavat
+from repro.datasets import batch_source, synthetic_mnist
+from repro.experiments.tables import format_table
+from repro.models import build_model
+from repro.nn import init
+from repro.selftuning import (
+    SelfTuningConfig,
+    area_overhead,
+    attach_self_tuning,
+    detach_self_tuning,
+)
+from repro.variability import LayerFixedVariance
+
+SIGMA_TOTAL = 0.5
+GTM_SWEEP = (10, 1000, 100_000)
+LTM_SWEEP = (1, 4, 16)
+
+
+def main() -> None:
+    train, test = synthetic_mnist(train_per_class=32, test_per_class=8)
+    variance_model = LayerFixedVariance()
+    sigma_each = SIGMA_TOTAL / np.sqrt(2.0)
+
+    init.seed(1)
+    model = build_model("lenet5-mini")
+    train_qavat(
+        model,
+        batch_source(train, 32, seed=0),
+        QConfig.from_notation("A4W2"),
+        VariabilitySpec.within_only(sigma_each, variance_model),
+        epochs=12,
+        lr=0.02,
+        float_pretrain_epochs=6,
+        n_variation_samples=4,
+    )
+    deploy_spec = VariabilitySpec.mixed(sigma_each, variance_model)
+
+    rows = []
+    for gtm_cells in GTM_SWEEP:
+        for ltm_columns in LTM_SWEEP:
+            attach_self_tuning(
+                model,
+                SelfTuningConfig(kind="layer", gtm_cells=gtm_cells, ltm_columns=ltm_columns),
+            )
+            result = evaluate_robustness(model, test, deploy_spec, num_chips=20)
+            rows.append(
+                [
+                    f"1e{int(np.log10(gtm_cells))}",
+                    ltm_columns,
+                    100 * result.mean,
+                    100 * result.std,
+                    100 * area_overhead(ltm_columns),
+                ]
+            )
+    detach_self_tuning(model)
+    print(
+        format_table(
+            ["GTM cells", "LTM cols", "mean acc %", "std %", "LTM area %/array"],
+            rows,
+            title=f"ST design space (sigma_tot={SIGMA_TOTAL}, layer-fixed, mixed-type)",
+        )
+    )
+    print("\nexpected shape: accuracy rises with both knobs with diminishing "
+          "returns; area cost rises linearly with LTM columns.")
+
+
+if __name__ == "__main__":
+    main()

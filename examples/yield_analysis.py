@@ -1,0 +1,90 @@
+"""Manufacturing-facing analysis: chip-to-chip accuracy distribution & yield.
+
+The paper reports mean accuracy over 2000 sampled chips; a fab cares about
+the whole distribution — what fraction of parts meets spec (parametric
+yield), how bad the tail is, and how both move with self-tuning.  This
+example trains one QAVAT model, deploys it under mixed-type variation, and
+prints:
+
+* accuracy quantiles and a 95% CI on the mean;
+* parametric yield against a sweep of accuracy specs, with and without
+  the GTM self-tuning correction;
+* the conditional accuracy-vs-eps_B profile (the Sec. III-A mechanism:
+  chips in the eps_B tails are the failing ones).
+
+Run:  python examples/yield_analysis.py
+"""
+
+import numpy as np
+
+from repro import QConfig, VariabilitySpec, evaluate_clean, evaluate_robustness, train_qavat
+from repro.datasets import batch_source, synthetic_mnist
+from repro.eval.statistics import (
+    accuracy_quantiles,
+    epsilon_profile,
+    mean_confidence_interval,
+    parametric_yield,
+)
+from repro.models import build_model
+from repro.nn import init
+from repro.selftuning import SelfTuningConfig, attach_self_tuning, detach_self_tuning
+from repro.variability import WeightProportionalVariance
+
+SIGMA_TOTAL = 0.4
+NUM_CHIPS = 120
+
+
+def main() -> None:
+    train, test = synthetic_mnist(train_per_class=32, test_per_class=8)
+    variance_model = WeightProportionalVariance()
+    sigma_each = SIGMA_TOTAL / np.sqrt(2.0)
+
+    init.seed(3)
+    model = build_model("lenet5-mini")
+    train_spec = VariabilitySpec.within_only(sigma_each, variance_model)
+    train_qavat(
+        model,
+        batch_source(train, 32, seed=0),
+        QConfig.from_notation("A4W2"),
+        train_spec,
+        epochs=10,
+        lr=0.02,
+        float_pretrain_epochs=5,
+    )
+    print(f"clean accuracy: {100 * evaluate_clean(model, test):.1f}%\n")
+
+    deploy_spec = VariabilitySpec.mixed(sigma_each, variance_model)
+    bare = evaluate_robustness(model, test, deploy_spec, num_chips=NUM_CHIPS, seed=7)
+    attach_self_tuning(model, SelfTuningConfig(kind="global", gtm_cells=10_000))
+    tuned = evaluate_robustness(model, test, deploy_spec, num_chips=NUM_CHIPS, seed=7)
+    detach_self_tuning(model)
+
+    for label, result in (("no self-tuning", bare), ("with GTM self-tuning", tuned)):
+        low, high = mean_confidence_interval(result)
+        quantiles = accuracy_quantiles(result, (0.05, 0.5, 0.95))
+        print(
+            f"{label}: mean {100 * result.mean:.1f}% "
+            f"(95% CI [{100 * low:.1f}, {100 * high:.1f}]), "
+            f"p05 {100 * quantiles[0.05]:.1f}%, median {100 * quantiles[0.5]:.1f}%, "
+            f"p95 {100 * quantiles[0.95]:.1f}%"
+        )
+
+    print("\nparametric yield vs accuracy spec:")
+    print(f"{'spec %':>7} {'yield (bare) %':>15} {'yield (tuned) %':>16}")
+    for spec in (0.5, 0.6, 0.7, 0.8, 0.9):
+        print(
+            f"{100 * spec:>7.0f} {100 * parametric_yield(bare, spec):>15.1f} "
+            f"{100 * parametric_yield(tuned, spec):>16.1f}"
+        )
+
+    print("\naccuracy vs sampled eps_B (bare deployment):")
+    for row in epsilon_profile(bare, bins=6):
+        bar = "#" * int(40 * row["mean_accuracy"])
+        print(
+            f"  eps_B in [{row['eps_low']:+.2f}, {row['eps_high']:+.2f}): "
+            f"{100 * row['mean_accuracy']:5.1f}%  {bar}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This subpackage is the training substrate for the whole reproduction: a
+small, well-tested autodiff engine providing exactly what quantization- and
+variability-aware training needs — broadcasting arithmetic, matmul, efficient
+im2col convolution, reductions, and the ability to define custom
+:class:`Function` nodes (used for the straight-through estimator).
+
+Public surface:
+
+* :class:`~repro.autograd.tensor.Tensor` — the differentiable array type.
+* :class:`~repro.autograd.function.Function` — base class for custom ops.
+* :func:`~repro.autograd.tensor.no_grad` — context manager disabling graph
+  construction.
+* :func:`~repro.autograd.grad_check.gradcheck` — finite-difference validation.
+"""
+
+from repro.autograd.function import Function
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled, tensor
+from repro.autograd.grad_check import gradcheck
+
+__all__ = [
+    "Tensor",
+    "Function",
+    "no_grad",
+    "is_grad_enabled",
+    "tensor",
+    "gradcheck",
+]

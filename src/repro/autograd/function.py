@@ -1,0 +1,76 @@
+"""Base class for differentiable operations.
+
+Every primitive op is a subclass of :class:`Function` implementing
+``forward`` (numpy in, numpy out) and ``backward`` (incoming gradient in,
+per-parent gradients out).  ``Function.apply`` builds the graph edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    Numpy broadcasting may have expanded an operand during the forward pass;
+    the chain rule then requires summing the gradient over the broadcast
+    dimensions.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+class Function:
+    """A node in the autodiff graph.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`.  Instances
+    store whatever the backward pass needs via :meth:`save_for_backward`
+    or plain attributes.
+    """
+
+    def __init__(self) -> None:
+        self.parents: tuple = ()
+        self.saved: tuple = ()
+        self.needs_input_grad: tuple[bool, ...] = ()
+
+    def save_for_backward(self, *items) -> None:
+        """Stash arrays/values needed by :meth:`backward`."""
+        self.saved = items
+
+    def forward(self, *args, **kwargs) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray):  # pragma: no cover
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *args, **kwargs):
+        """Run the op and, if tracing is enabled, record the graph edge.
+
+        Positional ``args`` may mix :class:`~repro.autograd.tensor.Tensor`
+        operands with plain python/numpy constants; only tensor operands
+        participate in differentiation.
+        """
+        from repro.autograd.tensor import Tensor, is_grad_enabled
+
+        ctx = cls()
+        tensors = [a for a in args if isinstance(a, Tensor)]
+        raw = [a.data if isinstance(a, Tensor) else a for a in args]
+        out_data = ctx.forward(*raw, **kwargs)
+        requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
+        out = Tensor(out_data, requires_grad=requires)
+        if requires:
+            ctx.parents = tuple(tensors)
+            ctx.needs_input_grad = tuple(t.requires_grad for t in tensors)
+            out._ctx = ctx
+        return out

@@ -1,0 +1,54 @@
+"""Finite-difference gradient checking for the autodiff engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numerical_gradient(fn, inputs, index: int, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(*inputs)`` w.r.t. one input.
+
+    ``inputs`` are :class:`~repro.autograd.tensor.Tensor` objects; ``fn`` must
+    return a scalar tensor.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data)
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(fn, inputs, eps: float = 1e-6, atol: float = 1e-4, rtol: float = 1e-3) -> bool:
+    """Verify analytic gradients of scalar ``fn(*inputs)`` against finite differences.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch, returns
+    ``True`` otherwise (so it can be used directly in test assertions).
+    """
+    for tensor_input in inputs:
+        tensor_input.zero_grad()
+    out = fn(*inputs)
+    if out.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    out.backward()
+    for i, tensor_input in enumerate(inputs):
+        if not tensor_input.requires_grad:
+            continue
+        analytic = tensor_input.grad
+        if analytic is None:
+            raise AssertionError(f"input {i}: no gradient was accumulated")
+        numeric = numerical_gradient(fn, inputs, i, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"input {i}: analytic/numeric gradient mismatch "
+                f"(max abs diff {worst:.3e})"
+            )
+    return True

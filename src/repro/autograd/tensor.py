@@ -1,0 +1,300 @@
+"""The :class:`Tensor` type: a numpy array with reverse-mode gradients."""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+DEFAULT_DTYPE = np.float64
+
+
+def is_grad_enabled() -> bool:
+    """Return whether graph construction is currently enabled."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def tensor(data, requires_grad: bool = False) -> "Tensor":
+    """Create a :class:`Tensor` from array-like ``data``."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def ensure_tensor(value) -> "Tensor":
+    """Wrap plain scalars/arrays as constant tensors; pass tensors through."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+class Tensor:
+    """A differentiable wrapper around ``numpy.ndarray``.
+
+    Gradients are accumulated into ``.grad`` by :meth:`backward`.  Graph
+    recording follows the usual reverse-mode convention: each tensor produced
+    by an op keeps a reference to the op instance (``_ctx``) which in turn
+    references its parent tensors.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_ctx")
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=DEFAULT_DTYPE)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._ctx = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a constant tensor sharing this tensor's data."""
+        out = Tensor.__new__(Tensor)
+        out.data = self.data
+        out.grad = None
+        out.requires_grad = False
+        out._ctx = None
+        return out
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to ones (appropriate for scalar losses).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+
+        order = self._topological_order()
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._ctx is None:
+                # Leaf: accumulate.
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+                continue
+            ctx = node._ctx
+            if ctx is None:
+                continue
+            parent_grads = ctx.backward(node_grad)
+            if not isinstance(parent_grads, tuple):
+                parent_grads = (parent_grads,)
+            for parent, pgrad in zip(ctx.parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    def _topological_order(self) -> list["Tensor"]:
+        """Return tensors in reverse-topological (output-first) order."""
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            if node._ctx is not None:
+                for parent in node._ctx.parents:
+                    if id(parent) not in visited:
+                        stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    # Operators (implementations live in repro.autograd.ops)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        from repro.autograd import ops
+
+        return ops.Add.apply(self, ensure_tensor(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        from repro.autograd import ops
+
+        return ops.Sub.apply(self, ensure_tensor(other))
+
+    def __rsub__(self, other):
+        from repro.autograd import ops
+
+        return ops.Sub.apply(ensure_tensor(other), self)
+
+    def __mul__(self, other):
+        from repro.autograd import ops
+
+        return ops.Mul.apply(self, ensure_tensor(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        from repro.autograd import ops
+
+        return ops.Div.apply(self, ensure_tensor(other))
+
+    def __rtruediv__(self, other):
+        from repro.autograd import ops
+
+        return ops.Div.apply(ensure_tensor(other), self)
+
+    def __neg__(self):
+        from repro.autograd import ops
+
+        return ops.Neg.apply(self)
+
+    def __pow__(self, exponent):
+        from repro.autograd import ops
+
+        return ops.Pow.apply(self, exponent=float(exponent))
+
+    def __matmul__(self, other):
+        from repro.autograd import ops
+
+        return ops.MatMul.apply(self, ensure_tensor(other))
+
+    def __getitem__(self, index):
+        from repro.autograd import ops
+
+        return ops.GetItem.apply(self, index=index)
+
+    # Reductions ---------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False):
+        from repro.autograd import ops
+
+        return ops.Sum.apply(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        from repro.autograd import ops
+
+        return ops.Mean.apply(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False):
+        from repro.autograd import ops
+
+        return ops.Max.apply(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims: bool = False):
+        from repro.autograd import ops
+
+        return ops.Min.apply(self, axis=axis, keepdims=keepdims)
+
+    # Shape ops ----------------------------------------------------------
+    def reshape(self, *shape):
+        from repro.autograd import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.Reshape.apply(self, shape=shape)
+
+    def transpose(self, *axes):
+        from repro.autograd import ops
+
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        return ops.Transpose.apply(self, axes=axes)
+
+    def flatten(self, start_dim: int = 0):
+        lead = self.shape[:start_dim]
+        return self.reshape(lead + (-1,))
+
+    # Elementwise --------------------------------------------------------
+    def exp(self):
+        from repro.autograd import ops
+
+        return ops.Exp.apply(self)
+
+    def log(self):
+        from repro.autograd import ops
+
+        return ops.Log.apply(self)
+
+    def sqrt(self):
+        from repro.autograd import ops
+
+        return ops.Sqrt.apply(self)
+
+    def abs(self):
+        from repro.autograd import ops
+
+        return ops.Abs.apply(self)
+
+    def relu(self):
+        from repro.autograd import ops
+
+        return ops.ReLU.apply(self)
+
+    def clip(self, low: float, high: float):
+        from repro.autograd import ops
+
+        return ops.Clip.apply(self, low=float(low), high=float(high))

@@ -1,0 +1,46 @@
+"""Mini-batch iteration utilities."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.datasets.synthetic import ArrayDataset
+
+
+def batch_iterator(
+    dataset: ArrayDataset,
+    batch_size: int,
+    shuffle: bool = True,
+    rng: np.random.Generator | None = None,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (inputs, targets) mini-batches from an :class:`ArrayDataset`."""
+    count = len(dataset)
+    order = np.arange(count)
+    if shuffle:
+        (rng or np.random.default_rng()).shuffle(order)
+    for start in range(0, count, batch_size):
+        index = order[start : start + batch_size]
+        if drop_last and len(index) < batch_size:
+            break
+        yield dataset.images[index], dataset.labels[index]
+
+
+def batch_source(
+    dataset: ArrayDataset,
+    batch_size: int,
+    seed: int = 0,
+) -> Callable[[], Iterator[tuple[np.ndarray, np.ndarray]]]:
+    """A zero-argument callable producing freshly shuffled epochs.
+
+    Each call advances the shuffle RNG so successive epochs see different
+    orders while the whole sequence stays reproducible.
+    """
+    rng = np.random.default_rng(seed)
+
+    def source() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        return batch_iterator(dataset, batch_size, shuffle=True, rng=rng)
+
+    return source

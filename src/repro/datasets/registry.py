@@ -1,0 +1,50 @@
+"""Dataset registry mapping paper dataset names to synthetic stand-ins."""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import (
+    ArrayDataset,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_mnist,
+)
+
+# name -> (factory, num_classes, default train/test per class)
+_DATASETS = {
+    "mnist": (synthetic_mnist, 10, 64, 16),
+    "mnist-mini": (synthetic_mnist, 10, 16, 8),
+    "cifar10": (synthetic_cifar10, 10, 64, 16),
+    "cifar10-mini": (synthetic_cifar10, 10, 16, 8),
+    "cifar100": (synthetic_cifar100, 100, 8, 2),
+    "cifar100-mini": (synthetic_cifar100, 100, 2, 1),
+}
+
+
+def list_datasets() -> list[str]:
+    """Names of all registered datasets."""
+    return sorted(_DATASETS)
+
+
+def make_dataset(
+    name: str,
+    train_size: int | None = None,
+    test_size: int | None = None,
+    seed: int | None = None,
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Build (train, test) splits of a registered dataset.
+
+    ``train_size``/``test_size`` are *total* sample counts (rounded up to a
+    class-balanced multiple); the ``-mini`` variants default to sizes small
+    enough for second-scale CPU training.
+    """
+    if name not in _DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; available: {list_datasets()}")
+    factory, num_classes, train_per_class, test_per_class = _DATASETS[name]
+    if train_size is not None:
+        train_per_class = max(1, -(-train_size // num_classes))
+    if test_size is not None:
+        test_per_class = max(1, -(-test_size // num_classes))
+    kwargs = {"train_per_class": train_per_class, "test_per_class": test_per_class}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return factory(**kwargs)

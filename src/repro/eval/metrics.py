@@ -1,0 +1,26 @@
+"""Small metric helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top1_accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches the target."""
+    return float((np.asarray(logits).argmax(axis=-1) == np.asarray(targets)).mean())
+
+
+class AverageMeter:
+    """Streaming weighted mean (and count) of a scalar metric."""
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def update(self, value: float, weight: int = 1) -> None:
+        self.total += value * weight
+        self.count += weight
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0

@@ -1,0 +1,145 @@
+"""Distributional statistics over Monte Carlo robustness results.
+
+The paper reports the *mean* accuracy over 2000 sampled chips.  For a
+manufacturer the distribution matters as much as the mean: parametric yield
+is the fraction of fabricated chips meeting an accuracy specification, and
+the low quantiles tell you what the worst shipping parts look like.  These
+helpers turn a :class:`repro.eval.RobustnessResult` into those quantities,
+plus the conditional accuracy-vs-``eps_B`` profile that explains *why*
+correlated variation is so destructive (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.robustness import RobustnessResult
+
+
+def accuracy_quantiles(
+    result: RobustnessResult, quantiles=(0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99)
+) -> dict[float, float]:
+    """Accuracy at the given chip-population quantiles."""
+    if not result.accuracies:
+        raise ValueError("empty robustness result")
+    values = np.quantile(result.accuracies, list(quantiles))
+    return {float(q): float(v) for q, v in zip(quantiles, values)}
+
+
+def mean_confidence_interval(
+    result: RobustnessResult, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation CI for the mean accuracy over chips."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    accuracies = np.asarray(result.accuracies)
+    if accuracies.size < 2:
+        raise ValueError("need at least two chips for a confidence interval")
+    from scipy import stats
+
+    half_width = stats.norm.ppf(0.5 + confidence / 2.0) * accuracies.std(ddof=1) / np.sqrt(
+        accuracies.size
+    )
+    return float(accuracies.mean() - half_width), float(accuracies.mean() + half_width)
+
+
+def bootstrap_mean_interval(
+    result: RobustnessResult,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Bootstrap percentile CI for the mean (no normality assumption)."""
+    accuracies = np.asarray(result.accuracies)
+    if accuracies.size < 2:
+        raise ValueError("need at least two chips")
+    rng = np.random.default_rng(seed)
+    indexes = rng.integers(0, accuracies.size, size=(resamples, accuracies.size))
+    means = accuracies[indexes].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def parametric_yield(result: RobustnessResult, accuracy_spec: float) -> float:
+    """Fraction of chips meeting an accuracy specification.
+
+    The manufacturing-facing summary: ``parametric_yield(result, 0.6)`` is
+    the share of fabricated parts a vendor could ship against a 60%
+    accuracy floor.
+    """
+    if not result.accuracies:
+        raise ValueError("empty robustness result")
+    return float((np.asarray(result.accuracies) >= accuracy_spec).mean())
+
+
+def accuracy_spec_at_yield(result: RobustnessResult, target_yield: float) -> float:
+    """The tightest accuracy spec achievable at a target yield.
+
+    Inverse of :func:`parametric_yield`: the (1 - yield)-quantile of the
+    chip accuracy distribution.
+    """
+    if not 0.0 < target_yield <= 1.0:
+        raise ValueError("target_yield must be in (0, 1]")
+    if not result.accuracies:
+        raise ValueError("empty robustness result")
+    return float(np.quantile(result.accuracies, 1.0 - target_yield))
+
+
+def worst_k_mean(result: RobustnessResult, k: int) -> float:
+    """Mean accuracy of the ``k`` worst chips (tail risk summary)."""
+    if k < 1 or k > len(result.accuracies):
+        raise ValueError(f"k must be in [1, {len(result.accuracies)}]")
+    return float(np.sort(result.accuracies)[:k].mean())
+
+
+def epsilon_profile(result: RobustnessResult, bins: int = 8) -> list[dict]:
+    """Accuracy conditioned on the chip's sampled ``eps_B``.
+
+    Requires the result to carry per-chip epsilons
+    (``evaluate_robustness`` records them whenever the spec has a
+    between-chip component).  The profile makes Sec. III-A quantitative:
+    accuracy is high near ``eps_B = 0`` and collapses in the tails, which
+    averaging over chips hides.
+    """
+    if not result.eps_between:
+        raise ValueError("result carries no per-chip eps_B values")
+    eps = np.asarray(result.eps_between)
+    accuracy = np.asarray(result.accuracies)
+    edges = np.linspace(eps.min(), eps.max() + 1e-12, bins + 1)
+    profile = []
+    for low, high in zip(edges[:-1], edges[1:]):
+        mask = (eps >= low) & (eps < high)
+        if not mask.any():
+            continue
+        profile.append(
+            {
+                "eps_low": float(low),
+                "eps_high": float(high),
+                "chips": int(mask.sum()),
+                "mean_accuracy": float(accuracy[mask].mean()),
+            }
+        )
+    return profile
+
+
+def summarize(result: RobustnessResult, accuracy_spec: float = 0.5) -> dict:
+    """One-call summary used by the CLI and benchmark reports."""
+    quantiles = accuracy_quantiles(result, (0.05, 0.5, 0.95))
+    summary = {
+        "chips": len(result.accuracies),
+        "mean": result.mean,
+        "std": result.std,
+        "worst": result.worst,
+        "p05": quantiles[0.05],
+        "median": quantiles[0.5],
+        "p95": quantiles[0.95],
+        "yield_at_spec": parametric_yield(result, accuracy_spec),
+        "accuracy_spec": accuracy_spec,
+    }
+    if len(result.accuracies) >= 2:
+        low, high = mean_confidence_interval(result)
+        summary["mean_ci95"] = (low, high)
+    return summary

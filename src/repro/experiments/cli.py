@@ -1,0 +1,247 @@
+"""Command-line interface: train/evaluate paper configurations.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments run --method qavat --model lenet5 \\
+        --notation A4W2 --sigma 0.3 --scenario within --scale tiny
+    python -m repro.experiments run --method qavat --model vgg11 \\
+        --notation A8W4 --sigma 0.3 --scenario mixed --self-tuning global
+    python -m repro.experiments compare --model lenet5 --notation A2W2 \\
+        --sigma 0.5 --scenario within
+
+``run`` trains one method and prints the Monte Carlo robustness summary;
+``compare`` runs QAVAT vs QAT vs PTQ-VAT on one configuration (one column
+of Table I).  Results are also appended as JSON under ``--results-dir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.eval.statistics import summarize
+from repro.experiments.configs import EXPERIMENT_SCALES, MethodConfig, WORKLOADS
+from repro.experiments.runner import METHODS, run_method
+from repro.experiments.store import ResultStore
+from repro.experiments.tables import format_table
+from repro.quant.qconfig import QConfig
+from repro.selftuning.tuner import SelfTuningConfig
+from repro.variability.models import variance_model_by_name
+from repro.variability.sampler import VariabilitySpec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Train and evaluate QAVAT / QAT / PTQ-VAT configurations.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list models, scales, methods, scenarios")
+
+    for name in ("run", "compare", "sweep"):
+        helps = {
+            "run": "train one method",
+            "compare": "run all three methods on one configuration",
+            "sweep": "one method across a sigma sweep (one figure panel)",
+        }
+        sub = commands.add_parser(name, help=helps[name])
+        if name in ("run", "sweep"):
+            sub.add_argument("--method", choices=METHODS, default="qavat")
+        if name == "sweep":
+            sub.add_argument(
+                "--sigmas",
+                type=float,
+                nargs="+",
+                default=[0.1, 0.3, 0.5],
+                help="sigma_tot values to sweep",
+            )
+        sub.add_argument("--model", choices=sorted(WORKLOADS), default="lenet5")
+        sub.add_argument("--notation", default="A4W2", help="AxWy bit widths")
+        sub.add_argument("--sigma", type=float, default=0.3, help="sigma_tot")
+        sub.add_argument(
+            "--scenario",
+            choices=("within", "mixed"),
+            default="within",
+            help="within-chip only, or equal within+between (paper Sec. IV)",
+        )
+        sub.add_argument(
+            "--variance-model",
+            choices=("weight-proportional", "layer-fixed"),
+            default="weight-proportional",
+        )
+        sub.add_argument("--scale", choices=sorted(EXPERIMENT_SCALES), default="tiny")
+        sub.add_argument("--samples", type=int, default=1, help="variation samples/step")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--self-tuning",
+            choices=("none", "global", "layer"),
+            default="none",
+            help="attach a self-tuning architecture before evaluation",
+        )
+        sub.add_argument("--gtm-cells", type=int, default=1000)
+        sub.add_argument("--ltm-columns", type=int, default=1)
+        sub.add_argument("--results-dir", default="results")
+        sub.add_argument(
+            "--accuracy-spec",
+            type=float,
+            default=0.5,
+            help="accuracy floor for the parametric-yield summary",
+        )
+    return parser
+
+
+def _specs(args) -> tuple[VariabilitySpec, VariabilitySpec]:
+    """(train_spec, eval_spec) for the chosen scenario.
+
+    Training always sees within-chip variation only (the paper's deployment
+    flow); the mixed scenario adds the correlated component at eval time.
+    """
+    variance_model = variance_model_by_name(args.variance_model)
+    if args.scenario == "within":
+        train = VariabilitySpec.within_only(args.sigma, variance_model)
+        return train, train
+    sigma_each = args.sigma / np.sqrt(2.0)
+    train = VariabilitySpec.within_only(sigma_each, variance_model)
+    return train, VariabilitySpec.mixed(sigma_each, variance_model)
+
+
+def _self_tuning(args) -> SelfTuningConfig | None:
+    if args.self_tuning == "none":
+        return None
+    return SelfTuningConfig(
+        kind=args.self_tuning,
+        gtm_cells=args.gtm_cells,
+        ltm_columns=args.ltm_columns,
+    )
+
+
+def _result_row(method: str, result, args) -> list:
+    summary = summarize(result.robustness, accuracy_spec=args.accuracy_spec)
+    return [
+        method,
+        100 * result.clean_accuracy,
+        100 * summary["mean"],
+        100 * summary["p05"],
+        100 * summary["worst"],
+        100 * summary["yield_at_spec"],
+    ]
+
+
+def _record(result, args, method: str) -> dict:
+    summary = summarize(result.robustness, accuracy_spec=args.accuracy_spec)
+    return {
+        "method": method,
+        "model": args.model,
+        "notation": args.notation,
+        "sigma": args.sigma,
+        "scenario": args.scenario,
+        "variance_model": args.variance_model,
+        "scale": args.scale,
+        "self_tuning": args.self_tuning,
+        "clean_accuracy": result.clean_accuracy,
+        "summary": summary,
+        "accuracies": result.robustness.accuracies,
+    }
+
+
+def _run_one(args, method: str):
+    model_name, workload = WORKLOADS[args.model]
+    train_spec, eval_spec = _specs(args)
+    return run_method(
+        method,
+        model_name,
+        workload,
+        QConfig.from_notation(args.notation),
+        train_spec,
+        eval_spec,
+        EXPERIMENT_SCALES[args.scale],
+        MethodConfig(n_variation_samples=args.samples, seed=args.seed),
+        self_tuning=_self_tuning(args),
+    )
+
+
+def _cmd_list() -> int:
+    print("models:    " + ", ".join(sorted(WORKLOADS)))
+    print("methods:   " + ", ".join(METHODS))
+    print("scales:    " + ", ".join(sorted(EXPERIMENT_SCALES)))
+    print("scenarios: within (Sec. IV-A), mixed (Sec. IV-B)")
+    print("variance:  weight-proportional, layer-fixed")
+    return 0
+
+
+_HEADERS = ["method", "clean %", "mean %", "p05 %", "worst %", "yield %"]
+
+
+def _cmd_run(args) -> int:
+    result = _run_one(args, args.method)
+    print(
+        format_table(
+            _HEADERS,
+            [_result_row(args.method, result, args)],
+            title=(
+                f"{args.model}/{args.notation} sigma={args.sigma} "
+                f"{args.scenario} ({args.variance_model}), scale={args.scale}"
+            ),
+        )
+    )
+    store = ResultStore(args.results_dir)
+    path = store.save(f"run-{args.method}-{args.model}", _record(result, args, args.method))
+    print(f"\nsaved: {path}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    rows = []
+    store = ResultStore(args.results_dir)
+    for method in METHODS:
+        result = _run_one(args, method)
+        rows.append(_result_row(method, result, args))
+        store.save(f"compare-{method}-{args.model}", _record(result, args, method))
+    print(
+        format_table(
+            _HEADERS,
+            rows,
+            title=(
+                f"{args.model}/{args.notation} sigma={args.sigma} "
+                f"{args.scenario} ({args.variance_model}), scale={args.scale}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    rows = []
+    store = ResultStore(args.results_dir)
+    for sigma in args.sigmas:
+        args.sigma = sigma
+        result = _run_one(args, args.method)
+        rows.append([sigma] + _result_row(args.method, result, args)[1:])
+        store.save(
+            f"sweep-{args.method}-{args.model}", _record(result, args, args.method)
+        )
+    print(
+        format_table(
+            ["sigma"] + _HEADERS[1:],
+            rows,
+            title=(
+                f"{args.method} sweep: {args.model}/{args.notation} "
+                f"{args.scenario} ({args.variance_model}), scale={args.scale}"
+            ),
+        )
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    return _cmd_compare(args)

@@ -1,0 +1,93 @@
+"""JSON persistence for experiment results.
+
+A :class:`ResultStore` is a directory of JSON records, one per experiment
+run, keyed by a caller-chosen name plus a monotonically increasing run
+index.  Used by the CLI so sweeps can be resumed and compared across
+sessions (the benchmark suite keeps its own plain-text outputs under
+``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import asdict, is_dataclass
+
+import numpy as np
+
+
+def _jsonable(value):
+    """Recursively convert numpy / dataclass values into JSON-safe types."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "__dict__") and not isinstance(value, type):
+        # VariabilitySpec and friends: record their public attributes.
+        return {
+            k: _jsonable(v)
+            for k, v in vars(value).items()
+            if not k.startswith("_")
+        }
+    return value
+
+
+class ResultStore:
+    """Append-only JSON record store rooted at a directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, name: str, run: int) -> str:
+        return os.path.join(self.root, f"{name}.run{run:03d}.json")
+
+    def next_run_index(self, name: str) -> int:
+        return len(self.list_runs(name))
+
+    def save(self, name: str, record: dict) -> str:
+        """Write one record; returns the file path."""
+        if not re.fullmatch(r"[A-Za-z0-9._-]+", name):
+            raise ValueError(f"unsafe record name {name!r}")
+        run = self.next_run_index(name)
+        path = self._path(name, run)
+        with open(path, "w") as handle:
+            json.dump(_jsonable(record), handle, indent=2, sort_keys=True)
+        return path
+
+    def load(self, name: str, run: int = -1) -> dict:
+        """Load one record (default: the latest run)."""
+        runs = self.list_runs(name)
+        if not runs:
+            raise FileNotFoundError(f"no stored runs named {name!r} under {self.root}")
+        path = runs[run]
+        with open(path) as handle:
+            return json.load(handle)
+
+    def list_runs(self, name: str) -> list[str]:
+        """Paths of all stored runs for ``name``, oldest first."""
+        pattern = re.compile(re.escape(name) + r"\.run(\d+)\.json$")
+        matches = []
+        for filename in os.listdir(self.root):
+            match = pattern.fullmatch(filename)
+            if match:
+                matches.append((int(match.group(1)), filename))
+        return [os.path.join(self.root, f) for _, f in sorted(matches)]
+
+    def list_names(self) -> list[str]:
+        """Distinct record names present in the store."""
+        names = set()
+        for filename in os.listdir(self.root):
+            match = re.fullmatch(r"(.+)\.run\d+\.json", filename)
+            if match:
+                names.add(match.group(1))
+        return sorted(names)

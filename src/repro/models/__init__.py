@@ -1,0 +1,17 @@
+"""The three paper models (LeNet-5, VGG-11, ResNet-18) and scaled variants."""
+
+from repro.models.lenet import LeNet5
+from repro.models.vgg import VGG11
+from repro.models.resnet import BasicBlock, ResNet, ResNet18
+from repro.models.registry import build_model, list_models, register_model
+
+__all__ = [
+    "LeNet5",
+    "VGG11",
+    "ResNet",
+    "ResNet18",
+    "BasicBlock",
+    "build_model",
+    "list_models",
+    "register_model",
+]

@@ -1,0 +1,51 @@
+"""LeNet-5 for 28x28 grayscale inputs (the paper's MNIST model)."""
+
+from __future__ import annotations
+
+from repro import nn
+
+
+def _scaled(channels: int, multiplier: float) -> int:
+    return max(1, int(round(channels * multiplier)))
+
+
+class LeNet5(nn.Module):
+    """Classic LeNet-5 with ReLU activations.
+
+    ``width_multiplier`` scales every channel/feature count so that the same
+    topology can be trained quickly on CPU (used by tests and benches at
+    multipliers < 1; the paper configuration is multiplier 1).
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 1,
+        width_multiplier: float = 1.0,
+    ) -> None:
+        super().__init__()
+        c1 = _scaled(6, width_multiplier)
+        c2 = _scaled(16, width_multiplier)
+        f1 = _scaled(120, width_multiplier)
+        f2 = _scaled(84, width_multiplier)
+        self.features = nn.Sequential(
+            nn.Conv2d(in_channels, c1, 5, padding=2),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(c1, c2, 5),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+        )
+        self.classifier = nn.Sequential(
+            nn.Flatten(),
+            nn.Linear(c2 * 5 * 5, f1),
+            nn.ReLU(),
+            nn.Linear(f1, f2),
+            nn.ReLU(),
+            nn.Linear(f2, num_classes),
+        )
+        self.input_shape = (in_channels, 28, 28)
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        return self.classifier(self.features(x))

@@ -1,0 +1,82 @@
+"""Model registry mapping paper names to constructors.
+
+The ``*-mini`` variants keep each architecture's topology (depth, residual
+structure, BN placement) but shrink widths so CPU training finishes in
+seconds; they are what the test suite and default benchmark configurations
+use.  The full-size paper models are registered under their plain names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models.lenet import LeNet5
+from repro.models.resnet import ResNet, ResNet18
+from repro.models.vgg import VGG11
+
+_REGISTRY: dict[str, Callable] = {}
+
+
+def register_model(name: str):
+    """Decorator/registration helper for model factory functions."""
+
+    def wrap(factory: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"model {name!r} already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    return wrap
+
+
+def build_model(name: str, **overrides):
+    """Instantiate a registered model by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[name](**overrides)
+
+
+def list_models() -> list[str]:
+    """Names of all registered models."""
+    return sorted(_REGISTRY)
+
+
+@register_model("lenet5")
+def _lenet5(**kw):
+    return LeNet5(**kw)
+
+
+@register_model("lenet5-mini")
+def _lenet5_mini(**kw):
+    kw.setdefault("width_multiplier", 0.5)
+    return LeNet5(**kw)
+
+
+@register_model("vgg11")
+def _vgg11(**kw):
+    return VGG11(**kw)
+
+
+@register_model("vgg11-mini")
+def _vgg11_mini(**kw):
+    kw.setdefault("width_multiplier", 0.125)
+    return VGG11(**kw)
+
+
+@register_model("resnet18")
+def _resnet18(**kw):
+    return ResNet18(**kw)
+
+
+@register_model("resnet18-mini")
+def _resnet18_mini(**kw):
+    kw.setdefault("width_multiplier", 0.125)
+    return ResNet18(**kw)
+
+
+@register_model("resnet10-mini")
+def _resnet10_mini(**kw):
+    """Half-depth residual net for the fastest integration tests."""
+    kw.setdefault("width_multiplier", 0.125)
+    kw.setdefault("blocks_per_stage", (1, 1, 1, 1))
+    return ResNet(**kw)

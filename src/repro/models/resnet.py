@@ -1,0 +1,88 @@
+"""ResNet-18 (CIFAR variant) — the paper's CIFAR-100 model."""
+
+from __future__ import annotations
+
+from repro import nn
+
+
+def _scaled(channels: int, multiplier: float) -> int:
+    return max(1, int(round(channels * multiplier)))
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convolutions with identity (or 1x1 projection) shortcut."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1) -> None:
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        self.relu = nn.ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = None
+
+    def forward(self, x):
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        identity = x if self.shortcut is None else self.shortcut(x)
+        return self.relu(out + identity)
+
+
+class ResNet(nn.Module):
+    """CIFAR-style ResNet: 3x3 stem (no 7x7/stem pooling), 4 stages."""
+
+    def __init__(
+        self,
+        blocks_per_stage: tuple[int, int, int, int] = (2, 2, 2, 2),
+        num_classes: int = 100,
+        in_channels: int = 3,
+        width_multiplier: float = 1.0,
+    ) -> None:
+        super().__init__()
+        widths = [_scaled(c, width_multiplier) for c in (64, 128, 256, 512)]
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, widths[0], 3, padding=1, bias=False),
+            nn.BatchNorm2d(widths[0]),
+            nn.ReLU(),
+        )
+        stages = []
+        channels = widths[0]
+        for stage_index, (width, blocks) in enumerate(zip(widths, blocks_per_stage)):
+            stride = 1 if stage_index == 0 else 2
+            for block_index in range(blocks):
+                stages.append(
+                    BasicBlock(channels, width, stride=stride if block_index == 0 else 1)
+                )
+                channels = width
+        self.stages = nn.Sequential(*stages)
+        self.head = nn.Sequential(
+            nn.GlobalAvgPool2d(),
+            nn.Linear(channels, num_classes),
+        )
+        self.input_shape = (in_channels, 32, 32)
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        return self.head(self.stages(self.stem(x)))
+
+
+def ResNet18(
+    num_classes: int = 100,
+    in_channels: int = 3,
+    width_multiplier: float = 1.0,
+) -> ResNet:
+    """The 18-layer configuration used in the paper (2-2-2-2 basic blocks)."""
+    return ResNet(
+        blocks_per_stage=(2, 2, 2, 2),
+        num_classes=num_classes,
+        in_channels=in_channels,
+        width_multiplier=width_multiplier,
+    )

@@ -1,0 +1,52 @@
+"""VGG-11 (configuration A) with batch normalization, for 32x32 inputs."""
+
+from __future__ import annotations
+
+from repro import nn
+
+# Standard VGG-11 feature configuration; "M" is a 2x2 max pool.
+VGG11_CONFIG = (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M")
+
+
+def _scaled(channels: int, multiplier: float) -> int:
+    return max(1, int(round(channels * multiplier)))
+
+
+class VGG11(nn.Module):
+    """VGG-11 with BN, adapted to CIFAR-style 32x32 inputs.
+
+    After five pools a 32x32 input collapses to 1x1, so the classifier is a
+    single linear layer (the common CIFAR adaptation).  ``width_multiplier``
+    scales all channel counts for CPU-scale experiments.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width_multiplier: float = 1.0,
+        batch_norm: bool = True,
+    ) -> None:
+        super().__init__()
+        layers: list[nn.Module] = []
+        channels = in_channels
+        for item in VGG11_CONFIG:
+            if item == "M":
+                layers.append(nn.MaxPool2d(2))
+                continue
+            out_channels = _scaled(int(item), width_multiplier)
+            layers.append(nn.Conv2d(channels, out_channels, 3, padding=1, bias=not batch_norm))
+            if batch_norm:
+                layers.append(nn.BatchNorm2d(out_channels))
+            layers.append(nn.ReLU())
+            channels = out_channels
+        self.features = nn.Sequential(*layers)
+        self.classifier = nn.Sequential(
+            nn.Flatten(),
+            nn.Linear(channels, num_classes),
+        )
+        self.input_shape = (in_channels, 32, 32)
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        return self.classifier(self.features(x))

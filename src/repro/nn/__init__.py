@@ -1,0 +1,36 @@
+"""Neural-network building blocks on top of :mod:`repro.autograd`.
+
+Mirrors the subset of a torch-like API needed by the paper's models:
+``Module``/``Parameter``, ``Linear``, ``Conv2d``, ``BatchNorm2d``, pooling,
+activations, containers, weight init, and the loss/functional helpers.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv2d
+from repro.nn.norm import BatchNorm2d, reestimate_bn_statistics
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.activations import Dropout, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.container import Flatten, Sequential
+from repro.nn import functional, init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "reestimate_bn_statistics",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "LeakyReLU",
+    "Dropout",
+    "Sequential",
+    "Flatten",
+    "functional",
+    "init",
+]

@@ -1,0 +1,98 @@
+"""Activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Function, Tensor
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class TanhFunction(Function):
+    def forward(self, a):
+        out = np.tanh(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * (1.0 - out * out),)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return TanhFunction.apply(x)
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class SigmoidFunction(Function):
+    def forward(self, a):
+        out = 1.0 / (1.0 + np.exp(-a))
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * out * (1.0 - out),)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return SigmoidFunction.apply(x)
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+class LeakyReLUFunction(Function):
+    def forward(self, a, slope: float):
+        self.save_for_backward(np.where(a > 0, 1.0, slope))
+        return np.where(a > 0, a, slope * a)
+
+    def backward(self, grad):
+        (factor,) = self.saved
+        return (grad * factor,)
+
+
+class LeakyReLU(Module):
+    """ReLU with a small negative-side slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return LeakyReLUFunction.apply(x, slope=self.negative_slope)
+
+    def __repr__(self) -> str:
+        return f"LeakyReLU({self.negative_slope})"
+
+
+class Dropout(Module):
+    """Inverted dropout: active in training mode, identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(keep)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,46 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for index, module in enumerate(modules):
+            setattr(self, str(index), module)
+
+    def forward(self, x):
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def append(self, module: Module) -> "Sequential":
+        setattr(self, str(len(self._modules)), module)
+        return self
+
+
+class Flatten(Module):
+    """Flatten all dimensions from ``start_dim`` onward."""
+
+    def __init__(self, start_dim: int = 1) -> None:
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x):
+        return x.flatten(self.start_dim)
+
+    def __repr__(self) -> str:
+        return f"Flatten(start_dim={self.start_dim})"

@@ -1,0 +1,145 @@
+"""2-D convolution via im2col, as a single fused autograd Function.
+
+The analog-PIM mapping in the paper lowers convolutions to matrix-vector
+products over im2col patches; this implementation mirrors that lowering,
+which also makes it the natural integration point for crossbar simulation
+(:mod:`repro.pim`) and the LTM patch-sum estimation (:mod:`repro.selftuning`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Function, Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int) -> np.ndarray:
+    """Lower NCHW input to patch matrix of shape ``(N, H_out, W_out, C*kh*kw)``."""
+    kh, kw = kernel
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    # (N, C, Ho, Wo, kh, kw) -> (N, Ho, Wo, C, kh, kw)
+    windows = windows.transpose(0, 2, 3, 1, 4, 5)
+    n, h_out, w_out = windows.shape[:3]
+    return np.ascontiguousarray(windows).reshape(n, h_out, w_out, -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, ...],
+    kernel: tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter-add patch gradients back to input shape (inverse of im2col)."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    h_pad, w_pad = h + 2 * padding, w + 2 * padding
+    h_out = (h_pad - kh) // stride + 1
+    w_out = (w_pad - kw) // stride + 1
+    cols = cols.reshape(n, h_out, w_out, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    out = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i : i + stride * h_out : stride, j : j + stride * w_out : stride] += cols[
+                :, :, :, :, i, j
+            ]
+    if padding:
+        out = out[:, :, padding : padding + h, padding : padding + w]
+    return out
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+class Conv2dFunction(Function):
+    """Fused conv2d: forward + backward w.r.t. input, weight, and bias."""
+
+    def forward(self, x, weight, bias, stride: int = 1, padding: int = 0):
+        out_channels, in_channels, kh, kw = weight.shape
+        cols = im2col(x, (kh, kw), stride, padding)  # (N, Ho, Wo, C*kh*kw)
+        w_mat = weight.reshape(out_channels, -1)
+        out = cols @ w_mat.T  # (N, Ho, Wo, out_channels)
+        if bias is not None:
+            out = out + bias
+        self.save_for_backward(cols, w_mat, x.shape, weight.shape)
+        self.stride = stride
+        self.padding = padding
+        self.has_bias = bias is not None
+        return out.transpose(0, 3, 1, 2)
+
+    def backward(self, grad):
+        cols, w_mat, x_shape, w_shape = self.saved
+        out_channels = w_shape[0]
+        # grad: (N, out_channels, Ho, Wo) -> (N, Ho, Wo, out_channels)
+        grad_nhwc = grad.transpose(0, 2, 3, 1)
+        grad_flat = grad_nhwc.reshape(-1, out_channels)
+        cols_flat = cols.reshape(-1, cols.shape[-1])
+        grad_weight = (grad_flat.T @ cols_flat).reshape(w_shape)
+        grad_cols = grad_nhwc @ w_mat  # (N, Ho, Wo, C*kh*kw)
+        grad_x = col2im(grad_cols, x_shape, w_shape[2:], self.stride, self.padding)
+        grad_bias = grad_flat.sum(axis=0) if self.has_bias else None
+        return grad_x, grad_weight, grad_bias
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padding: int = 0):
+    """Functional differentiable 2-D convolution (NCHW)."""
+    if bias is None:
+        return Conv2dFunction.apply(x, weight, stride=stride, padding=padding, bias=None)
+    return Conv2dFunction.apply(x, weight, bias, stride=stride, padding=padding)
+
+
+class Conv2d(Module):
+    """Standard 2-D convolution layer.
+
+    Parameters follow the usual convention: weight ``(C_out, C_in, kh, kw)``,
+    optional bias ``(C_out,)``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size))
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, self.stride, self.padding)
+
+    def output_shape(self, input_hw: tuple[int, int]) -> tuple[int, int, int]:
+        """(C_out, H_out, W_out) for a given input spatial size."""
+        h = conv_output_size(input_hw[0], self.kernel_size, self.stride, self.padding)
+        w = conv_output_size(input_hw[1], self.kernel_size, self.stride, self.padding)
+        return self.out_channels, h, w
+
+    def flops_per_input(self, input_hw: tuple[int, int]) -> int:
+        """Multiply-accumulate count for one NCHW sample (used by overhead bench)."""
+        _, h, w = self.output_shape(input_hw)
+        macs_per_position = self.in_channels * self.kernel_size * self.kernel_size
+        return 2 * macs_per_position * self.out_channels * h * w
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding})"
+        )

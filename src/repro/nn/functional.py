@@ -1,0 +1,59 @@
+"""Functional helpers: losses and stateless transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Function, Tensor
+from repro.autograd.ops import log_softmax
+
+
+def softmax(x: Tensor) -> Tensor:
+    """Softmax over the last axis (via the stable log-softmax)."""
+    return log_softmax(x).exp()
+
+
+class CrossEntropyFunction(Function):
+    """Fused log-softmax + negative log-likelihood with integer targets."""
+
+    def forward(self, logits, targets: np.ndarray):
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        log_probs = shifted - log_z
+        n = logits.shape[0]
+        self.save_for_backward(np.exp(log_probs), targets, n)
+        picked = log_probs[np.arange(n), targets]
+        return -picked.mean()
+
+    def backward(self, grad):
+        probs, targets, n = self.saved
+        grad_logits = probs.copy()
+        grad_logits[np.arange(n), targets] -= 1.0
+        return (grad * grad_logits / n,)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy loss for integer class targets."""
+    targets = np.asarray(targets, dtype=np.int64)
+    return CrossEntropyFunction.apply(logits, targets=targets)
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def accuracy(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predicted = scores.argmax(axis=-1)
+    return float((predicted == np.asarray(targets)).mean())
+
+
+def one_hot(targets: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels -> one-hot float matrix."""
+    targets = np.asarray(targets, dtype=np.int64)
+    out = np.zeros((targets.shape[0], num_classes))
+    out[np.arange(targets.shape[0]), targets] = 1.0
+    return out

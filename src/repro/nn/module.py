@@ -1,0 +1,152 @@
+"""Module/Parameter system: registration, traversal, state dicts."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is a trainable parameter of a :class:`Module`."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` attributes in
+    ``__init__``; they are auto-registered for :meth:`parameters`,
+    :meth:`state_dict`, train/eval mode propagation, etc.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state saved in :meth:`state_dict`
+        (e.g. batch-norm running statistics or quantizer scales)."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Overwrite a previously registered buffer."""
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        for _, parameter in self.named_parameters():
+            yield parameter
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, parameter in self._parameters.items():
+            yield prefix + name, parameter
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix + name + ".")
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def apply(self, fn) -> "Module":
+        """Apply ``fn`` to self and every submodule (torch-style)."""
+        for module in self.modules():
+            fn(module)
+        return self
+
+    # ------------------------------------------------------------------
+    # Mode and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self, prefix: str = "") -> "OrderedDict[str, np.ndarray]":
+        state: OrderedDict[str, np.ndarray] = OrderedDict()
+        for name, parameter in self._parameters.items():
+            state[prefix + name] = parameter.data.copy()
+        for name, buffer in self._buffers.items():
+            state[prefix + name] = np.asarray(buffer).copy()
+        for name, module in self._modules.items():
+            state.update(module.state_dict(prefix + name + "."))
+        return state
+
+    def load_state_dict(self, state: dict, prefix: str = "") -> None:
+        for name, parameter in self._parameters.items():
+            key = prefix + name
+            if key not in state:
+                raise KeyError(f"missing parameter {key!r} in state dict")
+            parameter.data = np.asarray(state[key], dtype=np.float64).reshape(
+                parameter.data.shape
+            ).copy()
+        for name in self._buffers:
+            key = prefix + name
+            if key not in state:
+                raise KeyError(f"missing buffer {key!r} in state dict")
+            self.set_buffer(name, state[key])
+        for name, module in self._modules.items():
+            module.load_state_dict(state, prefix + name + ".")
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        lines = [self.__class__.__name__ + "("]
+        for name, module in self._modules.items():
+            child = repr(module).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child}")
+        lines.append(")")
+        return "\n".join(lines) if len(lines) > 2 else self.__class__.__name__ + "()"
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return sum(p.size for p in self.parameters())

@@ -1,0 +1,103 @@
+"""Batch normalization (2-D feature maps)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over NCHW feature maps.
+
+    Composed from autograd primitives, so the backward pass needs no bespoke
+    derivation.  Running statistics are buffers updated in training mode and
+    used in eval mode (standard torch semantics).
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got ndim={x.ndim}")
+        axes = (0, 2, 3)
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=axes, keepdims=True)
+            batch_mean = mean.data.reshape(-1)
+            batch_var = var.data.reshape(-1)
+            m = self.momentum
+            self.set_buffer("running_mean", (1 - m) * self.running_mean + m * batch_mean)
+            self.set_buffer("running_var", (1 - m) * self.running_var + m * batch_var)
+            normalized = centered / (var + self.eps) ** 0.5
+        else:
+            shape = (1, self.num_features, 1, 1)
+            mean = self.running_mean.reshape(shape)
+            std = np.sqrt(self.running_var.reshape(shape) + self.eps)
+            normalized = (x - mean) / std
+        scale = self.weight.reshape((1, self.num_features, 1, 1))
+        shift = self.bias.reshape((1, self.num_features, 1, 1))
+        return normalized * scale + shift
+
+    def reset_running_stats(self) -> None:
+        """Forget accumulated running statistics (mean 0, var 1)."""
+        self.set_buffer("running_mean", np.zeros(self.num_features))
+        self.set_buffer("running_var", np.ones(self.num_features))
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+def reestimate_bn_statistics(model, batches, passes: int = 1) -> int:
+    """Re-estimate BatchNorm running statistics with clean forward passes.
+
+    Training under injected variability feeds the running mean/variance EMAs
+    with heavily perturbed activations; evaluating with those corrupted
+    statistics can destroy a model that the noisy training itself left
+    intact (the effect is catastrophic under the layer-fixed variance model
+    at high sigma).  The standard remedy — also applied by analog-hardware
+    training frameworks — is a handful of noise-free forward passes over
+    training data after training, with the EMAs replaced by a cumulative
+    average over the observed batches.
+
+    ``batches`` is a zero-argument callable yielding an epoch of
+    ``(inputs, targets)`` batches (one fresh epoch per pass).  Returns the
+    number of BatchNorm layers refreshed.
+    """
+    from repro.autograd import Tensor, no_grad
+
+    bn_layers = [m for m in model.modules() if isinstance(m, BatchNorm2d)]
+    if not bn_layers:
+        return 0
+    saved_momentum = [(layer, layer.momentum) for layer in bn_layers]
+    for layer in bn_layers:
+        layer.reset_running_stats()
+    was_training = model.training
+    model.train()
+    try:
+        batch_index = 0
+        for _ in range(passes):
+            for inputs, _targets in batches():
+                # Cumulative average: the k-th observed batch contributes
+                # with weight 1/k, so the result is the plain mean over all
+                # observed batch statistics rather than an EMA.
+                batch_index += 1
+                for layer in bn_layers:
+                    layer.momentum = 1.0 / batch_index
+                with no_grad():
+                    model(Tensor(inputs))
+    finally:
+        for layer, momentum in saved_momentum:
+            layer.momentum = momentum
+        model.train(was_training)
+    return len(bn_layers)

@@ -1,0 +1,159 @@
+"""Bit-slicing: mapping multi-bit weights and activations onto limited cells.
+
+A ``k``-bit weight rarely fits a single memory cell; practical PIM designs
+split the weight's binary representation across several columns
+("weight slicing") and stream the activation bits over several cycles
+("input bit-serial"), recombining partial sums digitally with shift-adds
+(paper refs [4], [8]).  The fake-quant training path never needs this —
+it computes with dequantized reals — but the circuit substrate does, and
+the equivalence of the two is a strong correctness check: with noise-free
+devices and ideal ADCs the sliced analog pipeline must reproduce the
+integer matrix product *exactly*.
+
+Signed values use two's-complement slicing: the most significant slice
+carries negative weight ``-2^(k-1)``, lower slices are plain binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def slice_signed(codes: np.ndarray, total_bits: int, bits_per_slice: int) -> np.ndarray:
+    """Split signed integer codes into unsigned slices, LSB slice first.
+
+    Returns an array of shape ``(num_slices, *codes.shape)`` whose entries
+    are in ``[0, 2**bits_per_slice)``.  Two's complement: reassembling with
+    :func:`assemble_signed` recovers ``codes`` exactly for any value in
+    ``[-2**(total_bits-1), 2**(total_bits-1) - 1]``.
+    """
+    if total_bits % bits_per_slice != 0:
+        raise ValueError(
+            f"total_bits ({total_bits}) must be a multiple of bits_per_slice "
+            f"({bits_per_slice})"
+        )
+    codes = np.asarray(codes)
+    if not np.issubdtype(codes.dtype, np.integer):
+        rounded = np.rint(codes)
+        if not np.allclose(rounded, codes):
+            raise ValueError("codes must be integers")
+        codes = rounded.astype(np.int64)
+    low, high = -(2 ** (total_bits - 1)), 2 ** (total_bits - 1) - 1
+    if codes.min() < low or codes.max() > high:
+        raise ValueError(f"codes outside the {total_bits}-bit signed range")
+    unsigned = np.where(codes < 0, codes + 2**total_bits, codes).astype(np.int64)
+    num_slices = total_bits // bits_per_slice
+    mask = (1 << bits_per_slice) - 1
+    slices = np.empty((num_slices,) + codes.shape, dtype=np.int64)
+    for i in range(num_slices):
+        slices[i] = (unsigned >> (i * bits_per_slice)) & mask
+    return slices
+
+
+def assemble_signed(slices: np.ndarray, total_bits: int, bits_per_slice: int) -> np.ndarray:
+    """Inverse of :func:`slice_signed`."""
+    num_slices = total_bits // bits_per_slice
+    if slices.shape[0] != num_slices:
+        raise ValueError(f"expected {num_slices} slices, got {slices.shape[0]}")
+    unsigned = np.zeros(slices.shape[1:], dtype=np.int64)
+    for i in range(num_slices):
+        unsigned += slices[i].astype(np.int64) << (i * bits_per_slice)
+    half = 2 ** (total_bits - 1)
+    return np.where(unsigned >= half, unsigned - 2**total_bits, unsigned)
+
+
+def slice_weights_signed_msb(
+    codes: np.ndarray, total_bits: int, bits_per_slice: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Slices plus per-slice digital weights (the shift-add coefficients).
+
+    The MSB slice's coefficient is negative (two's complement), so the
+    recombination is a single weighted sum:
+    ``codes = sum_i coeff[i] * slice[i]``.
+    """
+    slices = slice_signed(codes, total_bits, bits_per_slice)
+    num_slices = total_bits // bits_per_slice
+    coeffs = np.array(
+        [float(1 << (i * bits_per_slice)) for i in range(num_slices)]
+    )
+    # Two's complement: the unsigned digits reassemble to the signed code
+    # once the MSB digit is reinterpreted in [-2^(b-1), 2^(b-1)) — subtract
+    # the base from MSB digits at or above half the base.
+    msb = num_slices - 1
+    half = 1 << (bits_per_slice - 1)
+    # Convert MSB slice from unsigned to signed digit in [-half, half-1].
+    signed_msb = np.where(slices[msb] >= half, slices[msb] - (1 << bits_per_slice), slices[msb])
+    slices = slices.copy()
+    slices[msb] = signed_msb
+    return slices, coeffs
+
+
+@dataclass(frozen=True)
+class BitSlicingScheme:
+    """How one logical MVM maps onto sliced analog operations.
+
+    ``weight_bits``/``activation_bits`` are the logical precisions;
+    ``bits_per_cell`` limits each memory cell; ``dac_bits`` limits the
+    wordline driver per cycle (1 = fully bit-serial).
+    """
+
+    weight_bits: int = 4
+    activation_bits: int = 8
+    bits_per_cell: int = 2
+    dac_bits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.weight_bits % self.bits_per_cell != 0:
+            raise ValueError("weight_bits must be a multiple of bits_per_cell")
+        if self.activation_bits % self.dac_bits != 0:
+            raise ValueError("activation_bits must be a multiple of dac_bits")
+
+    @property
+    def weight_slices(self) -> int:
+        return self.weight_bits // self.bits_per_cell
+
+    @property
+    def input_cycles(self) -> int:
+        return self.activation_bits // self.dac_bits
+
+    @property
+    def column_expansion(self) -> int:
+        """Physical columns per logical output column (before differential)."""
+        return self.weight_slices
+
+    def mvm(self, activations: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Reference bit-sliced integer MVM: ``activations @ weights``.
+
+        ``activations``: signed integer codes, shape (N, d_in);
+        ``weights``: signed integer codes, shape (d_in, d_out).
+        Computes the product exclusively through sliced partial products
+        recombined with shift-adds, mirroring the analog pipeline's digital
+        backend, and returns int64 results equal to the direct product.
+        """
+        w_slices, w_coeffs = slice_weights_signed_msb(
+            weights, self.weight_bits, self.bits_per_cell
+        )
+        a_slices, a_coeffs = slice_weights_signed_msb(
+            activations, self.activation_bits, self.dac_bits
+        )
+        total = np.zeros((activations.shape[0], weights.shape[1]), dtype=np.int64)
+        for ai in range(self.input_cycles):
+            for wi in range(self.weight_slices):
+                partial = a_slices[ai].astype(np.int64) @ w_slices[wi].astype(np.int64)
+                total += int(a_coeffs[ai] * w_coeffs[wi]) * partial
+        return total
+
+    def adc_dynamic_range(self, rows: int) -> int:
+        """Worst-case magnitude of one sliced partial-sum (per bitline).
+
+        Sets the ADC resolution requirement: each analog partial product
+        accumulates at most ``rows`` terms of magnitude
+        ``(2**dac_bits - 1) * (2**bits_per_cell - 1)``... with signed MSB
+        digits the bound doubles on the MSB slice; this returns the
+        conservative bound used for ADC sizing.
+        """
+        a_max = 2 ** self.dac_bits - 1 if self.dac_bits == 1 else 2 ** (self.dac_bits - 1)
+        w_max = 2**self.bits_per_cell - 1
+        return rows * max(a_max, 1) * w_max

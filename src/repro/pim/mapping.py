@@ -1,0 +1,46 @@
+"""Weight-to-conductance mapping.
+
+Conductances are non-negative, so signed weights use the standard
+differential-pair scheme: each logical weight column becomes a positive and
+a negative physical column, and the digital backend subtracts the two
+bitline readings.  Integer weight codes map linearly onto the conductance
+range so that one code step equals one conductance unit ``g_unit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConductanceMapping:
+    """Linear code->conductance map for a ``bits``-wide symmetric grid."""
+
+    g_unit: float = 1.0
+
+    def to_differential(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Signed integer codes -> (positive, negative) conductance planes."""
+        codes = np.asarray(codes, dtype=np.float64)
+        positive = np.where(codes > 0, codes, 0.0) * self.g_unit
+        negative = np.where(codes < 0, -codes, 0.0) * self.g_unit
+        return positive, negative
+
+    def from_differential(self, reading_pos: np.ndarray, reading_neg: np.ndarray) -> np.ndarray:
+        """Differential bitline readings -> signed dot-product values."""
+        return (reading_pos - reading_neg) / self.g_unit
+
+
+def interleave_differential(positive: np.ndarray, negative: np.ndarray) -> np.ndarray:
+    """Pack (rows, cols) pos/neg planes into one (rows, 2*cols) array image."""
+    rows, cols = positive.shape
+    packed = np.empty((rows, 2 * cols))
+    packed[:, 0::2] = positive
+    packed[:, 1::2] = negative
+    return packed
+
+
+def deinterleave_readings(readings: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split packed differential readings back into pos/neg halves."""
+    return readings[..., 0::2], readings[..., 1::2]

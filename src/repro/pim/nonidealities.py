@@ -1,0 +1,125 @@
+"""Additional crossbar non-idealities: IR drop and stuck-at faults.
+
+The paper's focus is programming variability, but a credible PIM substrate
+should expose the other standard analog error sources so users can study
+how QAVAT-trained models respond to them:
+
+* **IR drop** — finite wire resistance along wordlines/bitlines attenuates
+  the effective cell voltage, more strongly for cells far from the drivers.
+  Modelled here with the widely used first-order approximation: each cell's
+  contribution is scaled by a position-dependent attenuation factor derived
+  from the accumulated series resistance and the instantaneous column
+  current load.
+* **Stuck-at faults** — cells frozen at minimum (stuck-off / open) or
+  maximum (stuck-on / short) conductance, a yield phenomenon independent of
+  Gaussian variation.  Fault maps are sampled per chip and are persistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IRDropModel:
+    """First-order IR-drop attenuation for a crossbar of given geometry.
+
+    ``wire_resistance`` is the segment resistance between adjacent cells
+    (relative to the cell's on-resistance, i.e. ``r_wire * g_max``); rows
+    farther from the wordline driver and columns farther from the ADC see
+    proportionally more series resistance.  ``attenuation_map`` returns the
+    per-cell multiplicative factor in (0, 1]; 1 everywhere when
+    ``wire_resistance == 0``.
+    """
+
+    wire_resistance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.wire_resistance < 0.0:
+            raise ValueError("wire_resistance must be non-negative")
+
+    def attenuation_map(self, rows: int, cols: int) -> np.ndarray:
+        """Per-cell attenuation factors, shape (rows, cols)."""
+        if self.wire_resistance == 0.0:
+            return np.ones((rows, cols))
+        # Distance (in segments) from the wordline driver (column index) and
+        # from the bitline sense amp (row index).  The first-order voltage
+        # divider gives 1 / (1 + r * distance).
+        row_distance = np.arange(rows)[:, None]
+        col_distance = np.arange(cols)[None, :]
+        series = self.wire_resistance * (row_distance + col_distance)
+        return 1.0 / (1.0 + series)
+
+    def apply(self, conductances: np.ndarray) -> np.ndarray:
+        """Effective conductances after IR-drop attenuation."""
+        rows, cols = conductances.shape
+        return conductances * self.attenuation_map(rows, cols)
+
+    def worst_case_attenuation(self, rows: int, cols: int) -> float:
+        """Attenuation of the cell farthest from both drivers."""
+        return float(self.attenuation_map(rows, cols)[-1, -1])
+
+
+@dataclass(frozen=True)
+class StuckAtFaultModel:
+    """Random persistent cell faults.
+
+    ``p_stuck_off``/``p_stuck_on`` are per-cell probabilities of a cell
+    being frozen at ``g_off``/``g_on``.  A sampled fault map is a pair of
+    boolean masks; applying it overrides the programmed conductances.
+    """
+
+    p_stuck_off: float = 0.0
+    p_stuck_on: float = 0.0
+    g_off: float = 0.0
+    g_on: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_stuck_off <= 1.0 or not 0.0 <= self.p_stuck_on <= 1.0:
+            raise ValueError("fault probabilities must be in [0, 1]")
+        if self.p_stuck_off + self.p_stuck_on > 1.0:
+            raise ValueError("total fault probability exceeds 1")
+
+    @property
+    def fault_rate(self) -> float:
+        return self.p_stuck_off + self.p_stuck_on
+
+    def sample_map(
+        self, shape: tuple[int, ...], rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(stuck_off_mask, stuck_on_mask) boolean arrays, disjoint."""
+        u = rng.random(shape)
+        stuck_off = u < self.p_stuck_off
+        stuck_on = (u >= self.p_stuck_off) & (u < self.fault_rate)
+        return stuck_off, stuck_on
+
+    def apply(
+        self,
+        conductances: np.ndarray,
+        fault_map: tuple[np.ndarray, np.ndarray],
+    ) -> np.ndarray:
+        """Conductances with faulted cells overridden."""
+        stuck_off, stuck_on = fault_map
+        out = np.asarray(conductances, dtype=np.float64).copy()
+        out[stuck_off] = self.g_off
+        out[stuck_on] = self.g_on
+        return out
+
+
+def expected_fault_error_power(
+    model: StuckAtFaultModel, conductances: np.ndarray
+) -> float:
+    """Mean squared conductance error introduced by the fault model.
+
+    Useful for sizing comparisons against Gaussian variation: a fault rate
+    producing the same error power as ``sigma_W`` typically degrades
+    accuracy *more*, because faults are heavy-tailed.
+    """
+    g = np.asarray(conductances, dtype=np.float64)
+    off_err = (g - model.g_off) ** 2
+    on_err = (g - model.g_on) ** 2
+    return float(
+        (model.p_stuck_off * off_err + model.p_stuck_on * on_err).mean()
+    )

@@ -1,0 +1,52 @@
+"""Quantization: uniform symmetric quantizer, STE, scaling, quant layers.
+
+Implements Eq. 3 of the paper (clip/round uniform symmetric quantizer with
+MMSE weight scales and static activation scales) and Eq. 4 (straight-through
+gradient estimation, including the reparameterized-variability factor).
+"""
+
+from repro.quant.quantizer import (
+    QuantSpec,
+    dequantize,
+    fake_quantize,
+    quantize,
+    quantization_levels,
+)
+from repro.quant.scaling import minmax_scale, mmse_scale
+from repro.quant.calibration import ActivationCalibrator, calibrate_model
+from repro.quant.estimators import HistogramCalibrator, kl_scale, percentile_scale
+from repro.quant.qconfig import QConfig
+from repro.quant.qlayers import QuantConv2d, QuantLinear
+from repro.quant.pact import PactReLU, pact_regularization
+from repro.quant.perchannel import fake_quantize_per_channel, per_channel_mmse_scales
+from repro.quant.ternary import fake_quantize_ternary, ternarize, twn_threshold_and_scale
+from repro.quant.bias_correction import apply_bias_correction
+from repro.quant.ptq import convert_to_quantized, quantized_layers
+
+__all__ = [
+    "QuantSpec",
+    "quantize",
+    "dequantize",
+    "fake_quantize",
+    "quantization_levels",
+    "mmse_scale",
+    "minmax_scale",
+    "percentile_scale",
+    "kl_scale",
+    "ActivationCalibrator",
+    "HistogramCalibrator",
+    "calibrate_model",
+    "QConfig",
+    "QuantConv2d",
+    "QuantLinear",
+    "PactReLU",
+    "pact_regularization",
+    "per_channel_mmse_scales",
+    "fake_quantize_per_channel",
+    "twn_threshold_and_scale",
+    "ternarize",
+    "fake_quantize_ternary",
+    "apply_bias_correction",
+    "convert_to_quantized",
+    "quantized_layers",
+]

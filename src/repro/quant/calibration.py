@@ -1,0 +1,69 @@
+"""Static activation-scale calibration (moving-average min-max, [10])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.quantizer import QuantSpec
+
+
+class ActivationCalibrator:
+    """Tracks an exponential moving average of per-batch |x| maxima.
+
+    The paper fixes activation scaling factors during training ("static
+    method"), calibrated as the moving average of min-max values over
+    batches of training data.  With a symmetric quantizer only the absolute
+    maximum matters.
+    """
+
+    def __init__(self, momentum: float = 0.1) -> None:
+        self.momentum = momentum
+        self.running_peak: float | None = None
+
+    def observe(self, x: np.ndarray) -> None:
+        """Update the moving average with one batch of activations."""
+        peak = float(np.max(np.abs(x)))
+        if self.running_peak is None:
+            self.running_peak = peak
+        else:
+            m = self.momentum
+            self.running_peak = (1.0 - m) * self.running_peak + m * peak
+
+    def scale(self, spec: QuantSpec) -> float:
+        """Scaling factor that maps the running peak onto the top level."""
+        if self.running_peak is None:
+            raise RuntimeError("calibrator has observed no data")
+        if self.running_peak == 0.0:
+            return 1.0
+        return self.running_peak / spec.qmax
+
+    @property
+    def calibrated(self) -> bool:
+        return self.running_peak is not None
+
+
+def calibrate_model(model, batches, max_batches: int | None = None) -> None:
+    """Run calibration batches through a quantized model and freeze scales.
+
+    Layers are switched into calibration mode (float forward + statistics
+    collection), the batches are run, then every layer's activation scale
+    is frozen from its calibrator.
+    """
+    from repro.quant.ptq import quantized_layers
+
+    layers = [layer for _, layer in quantized_layers(model)]
+    for layer in layers:
+        layer.begin_calibration()
+    was_training = model.training
+    model.eval()
+    from repro.autograd import Tensor, no_grad
+
+    with no_grad():
+        for index, batch in enumerate(batches):
+            if max_batches is not None and index >= max_batches:
+                break
+            inputs = batch[0] if isinstance(batch, (tuple, list)) else batch
+            model(Tensor(inputs))
+    for layer in layers:
+        layer.finish_calibration()
+    model.train(was_training)

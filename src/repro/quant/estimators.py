@@ -1,0 +1,193 @@
+"""Alternative scale estimators and activation calibrators.
+
+The paper uses MMSE scales for weights and moving-average min-max for
+activations (Sec. II-A).  Real deployments frequently trade these for
+percentile or information-theoretic (KL) calibration, and the choice
+interacts with variability robustness — clipping outliers shrinks the
+quantization grid, which shrinks the absolute magnitude of
+weight-proportional perturbations.  This module provides the standard
+alternatives behind one interface so the choice can be ablated:
+
+* :func:`percentile_scale` — clip at a magnitude percentile;
+* :func:`kl_scale` — minimize the KL divergence between the pre- and
+  post-quantization magnitude distributions (TensorRT-style);
+* :class:`HistogramCalibrator` — streaming activation calibrator computing
+  either of the above from an accumulated magnitude histogram, a drop-in
+  for :class:`repro.quant.ActivationCalibrator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.quantizer import QuantSpec
+
+
+def percentile_scale(x: np.ndarray, spec: QuantSpec, percentile: float = 99.9) -> float:
+    """Scale mapping the ``percentile``-th |x| percentile to the top level."""
+    if not 0.0 < percentile <= 100.0:
+        raise ValueError("percentile must be in (0, 100]")
+    magnitudes = np.abs(np.asarray(x, dtype=np.float64)).reshape(-1)
+    peak = float(np.percentile(magnitudes, percentile))
+    if peak == 0.0:
+        peak = float(magnitudes.max())
+    if peak == 0.0:
+        return 1.0
+    return peak / spec.qmax
+
+
+def _histogram_kl(counts: np.ndarray, edges: np.ndarray, spec: QuantSpec, clip: float) -> float:
+    """KL(P || Q) between the reference magnitude distribution P and its
+    ``clip``-then-quantize approximation Q (both over the histogram bins)."""
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    p = counts.astype(np.float64)
+    # Drop the near-zero bin: ReLU activations put most of their mass at
+    # (or near) zero, which any clip represents exactly; letting it dominate
+    # the divergence drives the clip absurdly low.  Reference entropy
+    # calibrators apply the same exclusion.
+    p[0] = 0.0
+    if p.sum() == 0.0:
+        return 0.0
+    # Clip: mass beyond the threshold collapses into the last kept bin.
+    kept = centers <= clip
+    # A clip keeping fewer histogram bins than a few per quantization level
+    # makes Q trivially equal to P (KL = 0 for arbitrarily harsh clipping),
+    # so such candidates are rejected — the same guard TensorRT's entropy
+    # calibration applies by starting its sweep at 128 bins.  The cap at a
+    # quarter of the histogram keeps high-bit specs (whose 4x-level floor
+    # would forbid any clipping) able to clip heavy tails.
+    min_kept = min(4 * spec.qmax, len(p) // 4)
+    if kept.sum() < min_kept:
+        return np.inf
+    p_clipped = p.copy()
+    overflow = p_clipped[~kept].sum()
+    p_clipped = p_clipped[kept]
+    p_clipped[-1] += overflow
+    # Quantize: the kept range is split into qmax levels; each level's mass
+    # is spread uniformly back over its source bins (the standard TensorRT
+    # procedure).
+    num_levels = spec.qmax
+    bin_count = len(p_clipped)
+    level_of_bin = np.minimum(
+        (np.arange(bin_count) * num_levels) // max(bin_count, 1), num_levels - 1
+    )
+    q = np.zeros_like(p_clipped)
+    for level in range(num_levels):
+        members = level_of_bin == level
+        if not members.any():
+            continue
+        mass = p_clipped[members].sum()
+        nonzero = members & (p_clipped > 0)
+        if nonzero.any():
+            q[nonzero] = mass / nonzero.sum()
+    p_norm = p_clipped / p_clipped.sum()
+    q_norm = q / q.sum() if q.sum() > 0 else q
+    mask = (p_norm > 0) & (q_norm > 0)
+    if not mask.any():
+        return np.inf
+    return float(np.sum(p_norm[mask] * np.log(p_norm[mask] / q_norm[mask])))
+
+
+def kl_scale(
+    x: np.ndarray,
+    spec: QuantSpec,
+    num_bins: int = 512,
+    num_candidates: int = 64,
+) -> float:
+    """KL-minimizing clip threshold -> scale (entropy calibration).
+
+    Builds a magnitude histogram and evaluates candidate clip points between
+    the grid's resolution floor and the maximum magnitude, returning the
+    scale whose induced quantized distribution is closest (in KL) to the
+    original.
+    """
+    magnitudes = np.abs(np.asarray(x, dtype=np.float64)).reshape(-1)
+    peak = float(magnitudes.max())
+    if peak == 0.0:
+        return 1.0
+    counts, edges = np.histogram(magnitudes, bins=num_bins, range=(0.0, peak))
+    candidates = np.linspace(peak / num_candidates, peak, num_candidates)
+    divergences = [_histogram_kl(counts, edges, spec, float(c)) for c in candidates]
+    best = candidates[int(np.argmin(divergences))]
+    return float(best) / spec.qmax
+
+
+class HistogramCalibrator:
+    """Streaming activation calibrator over an accumulated |x| histogram.
+
+    Drop-in for :class:`repro.quant.ActivationCalibrator` (same
+    ``observe``/``scale``/``calibrated`` protocol).  ``method`` selects how
+    the final scale is derived: ``"percentile"`` or ``"kl"``.  The histogram
+    range grows dynamically: if a batch exceeds the current range, prior
+    counts are re-binned into the wider range (conservative, since re-binned
+    mass keeps its bin centroid).
+    """
+
+    def __init__(
+        self,
+        method: str = "percentile",
+        percentile: float = 99.9,
+        num_bins: int = 512,
+    ) -> None:
+        if method not in ("percentile", "kl"):
+            raise ValueError(f"unknown calibration method {method!r}")
+        self.method = method
+        self.percentile = percentile
+        self.num_bins = num_bins
+        self.counts = np.zeros(num_bins)
+        self.range_max = 0.0
+
+    @property
+    def calibrated(self) -> bool:
+        return self.counts.sum() > 0
+
+    def observe(self, x: np.ndarray) -> None:
+        magnitudes = np.abs(np.asarray(x, dtype=np.float64)).reshape(-1)
+        peak = float(magnitudes.max()) if magnitudes.size else 0.0
+        if peak == 0.0 and self.range_max == 0.0:
+            return
+        if peak > self.range_max:
+            self._grow_range(peak)
+        counts, _ = np.histogram(magnitudes, bins=self.num_bins, range=(0.0, self.range_max))
+        self.counts += counts
+
+    def _grow_range(self, new_max: float) -> None:
+        if self.range_max == 0.0:
+            self.range_max = new_max
+            return
+        old_centers = (np.arange(self.num_bins) + 0.5) * (self.range_max / self.num_bins)
+        new_counts, _ = np.histogram(
+            old_centers, bins=self.num_bins, range=(0.0, new_max), weights=self.counts
+        )
+        self.counts = new_counts
+        self.range_max = new_max
+
+    def scale(self, spec: QuantSpec) -> float:
+        if not self.calibrated:
+            raise RuntimeError("calibrator has observed no data")
+        edges = np.linspace(0.0, self.range_max, self.num_bins + 1)
+        if self.method == "percentile":
+            cumulative = np.cumsum(self.counts)
+            target = cumulative[-1] * self.percentile / 100.0
+            index = int(np.searchsorted(cumulative, target))
+            clip = edges[min(index + 1, self.num_bins)]
+        else:
+            candidates = np.linspace(self.range_max / 64, self.range_max, 64)
+            divergences = [
+                _histogram_kl(self.counts, edges, spec, float(c)) for c in candidates
+            ]
+            clip = float(candidates[int(np.argmin(divergences))])
+        if clip == 0.0:
+            return 1.0
+        return clip / spec.qmax
+
+
+def make_calibrator(method: str, momentum: float = 0.1, percentile: float = 99.9):
+    """Factory mapping a QConfig calibrator name to a calibrator instance."""
+    from repro.quant.calibration import ActivationCalibrator
+
+    if method == "minmax":
+        return ActivationCalibrator(momentum)
+    if method in ("percentile", "kl"):
+        return HistogramCalibrator(method=method, percentile=percentile)
+    raise ValueError(f"unknown calibrator {method!r}; options: minmax, percentile, kl")

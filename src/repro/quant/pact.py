@@ -1,0 +1,91 @@
+"""PACT: parameterized clipping activation quantization (paper ref [22]).
+
+The paper chose *static* activation scales after observing that dynamic
+methods "without extensive fine-tuning ... have shown degraded performance
+compared to a static estimation scheme".  PACT (Choi et al.) is the
+canonical dynamic method: the clipping threshold ``alpha`` of each
+activation quantizer is a trainable parameter, learned jointly with the
+weights; an L2 regularizer on ``alpha`` keeps it from growing unboundedly.
+This module implements PACT so the paper's design choice can be ablated.
+
+The PACT forward is ``y = quantize(clip(x, 0, alpha))`` with unsigned
+``k``-bit levels in ``[0, alpha]``; the STE gradients are
+
+* ``dy/dx = 1`` for ``0 <= x < alpha`` else 0,
+* ``dy/dalpha = 1`` for ``x >= alpha`` else 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Function, Tensor
+from repro.nn.module import Module, Parameter
+
+
+class PactFunction(Function):
+    """Clip-and-quantize with PACT's straight-through gradients."""
+
+    def forward(self, x, alpha, bits: int):
+        alpha_value = float(alpha.reshape(-1)[0])
+        levels = 2**bits - 1
+        clipped = np.clip(x, 0.0, alpha_value)
+        if alpha_value > 0.0:
+            step = alpha_value / levels
+            out = np.rint(clipped / step) * step
+        else:
+            out = np.zeros_like(x)
+        self.save_for_backward(x >= alpha_value, (x > 0.0) & (x < alpha_value))
+        return out
+
+    def backward(self, grad):
+        above, inside = self.saved
+        grad_x = grad * inside
+        grad_alpha = np.array([np.sum(grad * above)])
+        return grad_x, grad_alpha
+
+
+class PactReLU(Module):
+    """A quantizing ReLU with a learnable clipping threshold.
+
+    Use with ``QConfig(quantize_activations=False)`` so layer-internal
+    static activation quantization is disabled and PACT is the only
+    activation quantizer.  ``alpha_decay`` is the coefficient of the L2
+    penalty on alpha; :meth:`regularization_loss` returns the penalty term
+    to be added to the task loss (the "extensive fine-tuning" the paper
+    notes PACT needs).
+    """
+
+    def __init__(self, bits: int = 4, init_alpha: float = 6.0, alpha_decay: float = 0.0) -> None:
+        super().__init__()
+        if bits < 2:
+            raise ValueError("PACT needs at least 2 bits")
+        if init_alpha <= 0.0:
+            raise ValueError("init_alpha must be positive")
+        self.bits = bits
+        self.alpha_decay = alpha_decay
+        self.alpha = Parameter(np.array([float(init_alpha)]))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return PactFunction.apply(x, self.alpha, bits=self.bits)
+
+    def regularization_loss(self) -> Tensor:
+        """L2 penalty ``alpha_decay * alpha^2`` (zero tensor when disabled)."""
+        return (self.alpha * self.alpha).sum() * self.alpha_decay
+
+    @property
+    def clip_value(self) -> float:
+        return float(self.alpha.data[0])
+
+    def __repr__(self) -> str:
+        return f"PactReLU(bits={self.bits}, alpha={self.clip_value:.3f})"
+
+
+def pact_regularization(model: Module) -> Tensor | float:
+    """Summed alpha regularization over every PactReLU in a model."""
+    total = 0.0
+    for module in model.modules():
+        if isinstance(module, PactReLU) and module.alpha_decay > 0.0:
+            term = module.regularization_loss()
+            total = term if isinstance(total, float) and total == 0.0 else total + term
+    return total

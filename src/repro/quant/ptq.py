@@ -1,0 +1,50 @@
+"""Model conversion: float modules -> quantized modules.
+
+``convert_to_quantized`` swaps every ``Conv2d``/``Linear`` for its quantized
+counterpart in place.  It is used both to *prepare* a model for
+quantization-aware training from scratch and to *post-training quantize*
+(PTQ) an already-trained float model — the PTQ-VAT baseline of the paper is
+exactly: train float with variability-aware noise, convert, calibrate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.nn import Conv2d, Linear, Module
+from repro.quant.qconfig import QConfig
+from repro.quant.qlayers import QuantConv2d, QuantLinear, _QuantLayerBase
+
+
+def convert_to_quantized(model: Module, qconfig: QConfig) -> Module:
+    """Replace all Conv2d/Linear submodules with quantized versions, in place.
+
+    Weights and biases are copied; MMSE weight scales are computed
+    immediately (the paper computes them at the beginning of training).
+    Activation scales still need :func:`repro.quant.calibrate_model`.
+    """
+    _convert_children(model, qconfig)
+    return model
+
+
+def _convert_children(module: Module, qconfig: QConfig) -> None:
+    for name, child in list(module._modules.items()):
+        if isinstance(child, Conv2d):
+            setattr(module, name, QuantConv2d.from_float(child, qconfig))
+        elif isinstance(child, Linear):
+            setattr(module, name, QuantLinear.from_float(child, qconfig))
+        else:
+            _convert_children(child, qconfig)
+
+
+def quantized_layers(model: Module) -> Iterator[tuple[str, _QuantLayerBase]]:
+    """Yield (dotted name, layer) for every quantized layer in the model."""
+    for name, module in model.named_modules():
+        if isinstance(module, _QuantLayerBase):
+            yield name, module
+
+
+def refresh_weight_scales(model: Module) -> None:
+    """Recompute MMSE weight scales on every quantized layer."""
+    for _, layer in quantized_layers(model):
+        layer.refresh_weight_scale()

@@ -1,0 +1,55 @@
+"""Quantization configuration shared by all quantized layers of a model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_CALIBRATORS = ("minmax", "percentile", "kl")
+
+
+@dataclass(frozen=True)
+class QConfig:
+    """An "AxWy" configuration in the paper's notation.
+
+    ``activation_bits``/``weight_bits`` select the integer grids;
+    ``momentum`` is the moving-average coefficient for activation
+    calibration; ``weight_scale_refresh`` > 0 recomputes MMSE weight scales
+    every that-many optimizer steps (the paper recomputes only at the start
+    of training — the default — and reports that more frequent updates help
+    only marginally).
+
+    Ablation knobs beyond the paper's defaults: ``per_channel_weights``
+    gives each output channel its own MMSE scale (one extra digital
+    multiplier per crossbar column group); ``calibrator`` selects the
+    activation-scale estimator (``"minmax"`` — the paper's choice —
+    ``"percentile"``, or ``"kl"``), with ``percentile`` setting the clip
+    percentile for the percentile calibrator.
+    """
+
+    activation_bits: int = 8
+    weight_bits: int = 4
+    quantize_activations: bool = True
+    momentum: float = 0.1
+    weight_scale_refresh: int = 0
+    per_channel_weights: bool = False
+    calibrator: str = "minmax"
+    percentile: float = 99.9
+
+    def __post_init__(self) -> None:
+        if self.calibrator not in _CALIBRATORS:
+            raise ValueError(
+                f"unknown calibrator {self.calibrator!r}; options: {_CALIBRATORS}"
+            )
+
+    @classmethod
+    def from_notation(cls, notation: str, **overrides) -> "QConfig":
+        """Parse strings like ``"A4W2"`` into a config."""
+        text = notation.upper()
+        if not text.startswith("A") or "W" not in text:
+            raise ValueError(f"bad AxWy notation: {notation!r}")
+        a_part, w_part = text[1:].split("W")
+        return cls(activation_bits=int(a_part), weight_bits=int(w_part), **overrides)
+
+    @property
+    def notation(self) -> str:
+        return f"A{self.activation_bits}W{self.weight_bits}"

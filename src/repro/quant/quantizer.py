@@ -1,0 +1,89 @@
+"""Uniform symmetric quantizer with straight-through gradients (Eq. 3-4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd import Function, Tensor
+
+
+@dataclass(frozen=True)
+class QuantSpec:
+    """A symmetric ``k``-bit integer grid.
+
+    The level set is ``{-2^(k-1)+1, ..., 2^(k-1)-1}`` (Eq. 3): e.g. ternary
+    weights for k = 2, the 15-level grid for k = 4.
+    """
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 2:
+            raise ValueError("symmetric quantization needs at least 2 bits")
+
+    @property
+    def qmax(self) -> int:
+        return 2 ** (self.bits - 1) - 1
+
+    @property
+    def qmin(self) -> int:
+        return -self.qmax
+
+    @property
+    def num_levels(self) -> int:
+        return 2 * self.qmax + 1
+
+
+def quantization_levels(spec: QuantSpec, scale: float) -> np.ndarray:
+    """All representable dequantized values for a spec/scale pair."""
+    return np.arange(spec.qmin, spec.qmax + 1) * scale
+
+
+def quantize(x: np.ndarray, scale: float, spec: QuantSpec) -> np.ndarray:
+    """Real values -> integer codes (round-to-nearest, clipped)."""
+    codes = np.rint(np.asarray(x) / scale)
+    return np.clip(codes, spec.qmin, spec.qmax)
+
+
+def dequantize(codes: np.ndarray, scale: float) -> np.ndarray:
+    """Integer codes -> dequantized real values."""
+    return np.asarray(codes) * scale
+
+
+class FakeQuantFunction(Function):
+    """Quantize-dequantize with straight-through gradients.
+
+    ``clip_gradient=True`` zeroes the gradient outside the representable
+    range (the standard choice for activations, where values beyond the clip
+    threshold carry no information); ``False`` is the pure identity STE of
+    Eq. 4 (used for weights so large weights keep receiving updates).
+    """
+
+    def forward(self, x, scale: float, spec: QuantSpec, clip_gradient: bool = False):
+        codes = np.clip(np.rint(x / scale), spec.qmin, spec.qmax)
+        if clip_gradient:
+            bound = spec.qmax * scale
+            self.save_for_backward((np.abs(x) <= bound))
+        else:
+            self.save_for_backward(None)
+        return codes * scale
+
+    def backward(self, grad):
+        (mask,) = self.saved
+        if mask is None:
+            return (grad,)
+        return (grad * mask,)
+
+
+def fake_quantize(
+    x: Tensor,
+    scale: float,
+    spec: QuantSpec,
+    clip_gradient: bool = False,
+) -> Tensor:
+    """Differentiable quantize-dequantize (the x_D of Eq. 3)."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return FakeQuantFunction.apply(x, scale=float(scale), spec=spec, clip_gradient=clip_gradient)

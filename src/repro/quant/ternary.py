@@ -1,0 +1,71 @@
+"""Ternary weight networks (TWN) quantization (paper ref [12]).
+
+The paper's W2 configuration is "ternary" through the uniform symmetric
+quantizer of Eq. 3 (levels {-1, 0, +1} x scale, MMSE scale).  TWN (Li &
+Liu) is the classical alternative: a threshold rule zeroes small weights
+and an analytically optimal scale fits the survivors,
+
+    ``delta = 0.7 * E[|w|]``,
+    ``alpha = E[|w_i|  :  |w_i| > delta]``,
+
+which approximately minimizes the L2 reconstruction error under the
+threshold parameterization.  Implemented here as a drop-in fake quantizer
+so the two W2 flavours can be compared under variability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Function, Tensor
+
+
+def twn_threshold_and_scale(weights: np.ndarray) -> tuple[float, float]:
+    """TWN's (delta, alpha): magnitude threshold and survivor scale."""
+    magnitudes = np.abs(np.asarray(weights, dtype=np.float64))
+    delta = 0.7 * float(magnitudes.mean())
+    survivors = magnitudes[magnitudes > delta]
+    if survivors.size == 0:
+        # Degenerate tensor (all magnitudes below threshold): fall back to
+        # the overall mean so the layer does not collapse to zero.
+        alpha = float(magnitudes.mean()) or 1.0
+    else:
+        alpha = float(survivors.mean())
+    return delta, alpha
+
+
+def ternarize(weights: np.ndarray, delta: float, alpha: float) -> np.ndarray:
+    """Hard ternarization: sign(w) * alpha where |w| > delta, else 0."""
+    weights = np.asarray(weights, dtype=np.float64)
+    return np.where(np.abs(weights) > delta, np.sign(weights) * alpha, 0.0)
+
+
+class TernaryQuantFunction(Function):
+    """TWN quantize-dequantize with identity STE."""
+
+    def forward(self, w, delta: float, alpha: float):
+        return ternarize(w, delta, alpha)
+
+    def backward(self, grad):
+        return (grad,)
+
+
+def fake_quantize_ternary(w: Tensor, delta: float | None = None, alpha: float | None = None) -> Tensor:
+    """Differentiable TWN quantization.
+
+    ``delta``/``alpha`` default to the TWN-optimal values recomputed from
+    the current weights (the usual training-time behaviour).
+    """
+    if delta is None or alpha is None:
+        delta, alpha = twn_threshold_and_scale(w.data)
+    if alpha <= 0.0:
+        raise ValueError("alpha must be positive")
+    return TernaryQuantFunction.apply(w, delta=float(delta), alpha=float(alpha))
+
+
+def ternary_sparsity(weights: np.ndarray, delta: float | None = None) -> float:
+    """Fraction of weights zeroed by the TWN threshold."""
+    if delta is None:
+        delta, _ = twn_threshold_and_scale(weights)
+    magnitudes = np.abs(np.asarray(weights))
+    return float((magnitudes <= delta).mean())

@@ -1,0 +1,108 @@
+"""Drift compensation: self-tuning against time-varying correlated variation.
+
+The paper's footnote 2 claims the self-tuning architecture "can be
+generalized to compensate for any correlated weight variation, e.g., due to
+temperature drifts or aging".  This module operationalizes that claim: a
+:class:`DriftCompensator` wraps a deployed model's tuner and decides *when*
+to re-measure the GTM as the chip's effective ``eps_B`` drifts
+(:class:`repro.pim.drift.DriftingChip`).
+
+Because a GTM read costs one column activation, re-measuring on every
+inference is nearly free in FLOPs but may be awkward operationally (the
+reference column competes with the layer's MVM for the ADC).  Three
+policies are provided:
+
+* ``"every"`` — re-measure at each inference (oracle-fresh estimate);
+* ``"periodic"`` — re-measure every ``period`` time units;
+* ``"never"`` — measure once at deployment (shows how fabrication-only
+  self-tuning goes stale under drift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pim.drift import DriftingChip
+
+
+@dataclass
+class DriftCompensator:
+    """Re-measurement policy for a drifting deployment.
+
+    Call :meth:`maybe_remeasure` with the chip each time the operating time
+    advances; it clears the chip's cached tuning-module measurements when
+    the policy says so, forcing the next correction to read a fresh GTM
+    value.
+    """
+
+    policy: str = "periodic"
+    period: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("every", "periodic", "never"):
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if self.period <= 0.0:
+            raise ValueError("period must be positive")
+        self._last_measured: float | None = None
+        self.remeasure_count = 0
+
+    def maybe_remeasure(self, chip: DriftingChip) -> bool:
+        """Apply the policy at the chip's current time; True if re-measured."""
+        now = chip.time
+        if self.policy == "never":
+            if self._last_measured is None:
+                self._last_measured = now
+                self.remeasure_count += 1
+            return False
+        if self.policy == "every":
+            chip.remeasure()
+            self._last_measured = now
+            self.remeasure_count += 1
+            return True
+        if self._last_measured is None or now - self._last_measured >= self.period:
+            chip.remeasure()
+            self._last_measured = now
+            self.remeasure_count += 1
+            return True
+        return False
+
+    def staleness(self, chip: DriftingChip) -> float:
+        """Time since the estimate was last refreshed."""
+        if self._last_measured is None:
+            return float("inf")
+        return chip.time - self._last_measured
+
+
+def run_drift_timeline(
+    model,
+    dataset,
+    chip: DriftingChip,
+    spec,
+    times,
+    compensator: DriftCompensator | None = None,
+    batch_size: int = 64,
+):
+    """Evaluate a deployed model along a drift timeline.
+
+    At each time in ``times`` the chip is advanced, the compensation policy
+    is applied, and test accuracy is measured with the drifted variation
+    installed.  Returns a list of ``(time, eps_B, accuracy)`` tuples.
+
+    The model should already carry self-tuning modules
+    (:func:`repro.selftuning.attach_self_tuning`) for compensation to have
+    any effect; without a tuner this traces the uncompensated degradation.
+    """
+    from repro.eval.robustness import _dataset_accuracy
+    from repro.variability.injection import clear_variation, inject_variation
+
+    model.eval()
+    timeline = []
+    for time in times:
+        chip.advance_to(float(time))
+        if compensator is not None:
+            compensator.maybe_remeasure(chip)
+        inject_variation(model, chip, spec)
+        accuracy = _dataset_accuracy(model, dataset, batch_size)
+        timeline.append((float(time), chip.eps_between, accuracy))
+    clear_variation(model)
+    return timeline

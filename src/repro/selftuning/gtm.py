@@ -1,0 +1,49 @@
+"""Global Tuning Module: crossbar-column estimator of eps_B (Fig. 3, left)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.variability.sampler import ChipVariation
+
+
+class GlobalTuningModule:
+    """A single reference column of ``num_cells`` identical cells.
+
+    With fixed inputs ``x_G`` and programmed conductances ``w_G``, the
+    variation-free output ``y_0 = n * w_G * x_G`` is stored digitally.  Under
+    variation the measured output is
+
+        ``y_GTM = x_G * sum_i w_G * (1 + eps_B + eps_{W,i})``
+
+    so ``y_GTM / y_0 - 1 = eps_B + mean_i(eps_{W,i})`` — an unbiased
+    estimator of ``eps_B`` whose standard error is ``sigma_W / sqrt(n)``.
+    One GTM serves the whole chip; its measurement is physically fixed, so
+    it is cached on the chip object.
+    """
+
+    def __init__(self, num_cells: int = 1000, tag: str = "gtm") -> None:
+        if num_cells < 1:
+            raise ValueError("GTM needs at least one cell")
+        self.num_cells = int(num_cells)
+        self.tag = tag
+
+    def estimate(self, chip: ChipVariation) -> float:
+        """Measured estimate of eps_B for this chip (cached per chip)."""
+        key = f"{self.tag}:{self.num_cells}"
+        if key not in chip.measurements:
+            if chip.sigma_within > 0.0:
+                rng = chip.rng_for(key)
+                standard_error = chip.sigma_within / np.sqrt(self.num_cells)
+                noise = rng.normal(0.0, standard_error)
+            else:
+                noise = 0.0
+            chip.measurements[key] = chip.eps_between + noise
+        return chip.measurements[key]
+
+    def standard_error(self, sigma_within: float) -> float:
+        """Theoretical standard error of the estimate."""
+        return sigma_within / np.sqrt(self.num_cells)
+
+    def __repr__(self) -> str:
+        return f"GlobalTuningModule(num_cells={self.num_cells})"

@@ -1,0 +1,65 @@
+"""Layer Tuning Module: per-layer input-sum estimator (Fig. 3, right)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.variability.sampler import ChipVariation
+
+
+class LayerTuningModule:
+    """``columns`` extra crossbar columns with all cells set to ``w_L``.
+
+    Under the layer-fixed variance model each LTM cell's conductance becomes
+    ``w_L + (eps_B + eps_W) * W_max``, so a column driven by the layer's
+    input activations measures
+
+        ``y_LTM = (w_L + eps_B * W_max) * sum_j(x_j) + W_max * sum_j(eps_W,j * x_j)``
+
+    Averaging several columns reduces the within-chip estimation noise.
+    Cell noise is fabrication-fixed: the per-column epsilon vectors are
+    drawn deterministically per (chip, layer) and reused for every input.
+    """
+
+    def __init__(self, columns: int = 1, w_l_relative: float = 1.0, tag: str = "ltm") -> None:
+        if columns < 1:
+            raise ValueError("LTM needs at least one column")
+        self.columns = int(columns)
+        self.w_l_relative = float(w_l_relative)
+        self.tag = tag
+
+    def _cell_noise(self, chip: ChipVariation, layer_key: str, input_dim: int) -> np.ndarray:
+        """Fixed per-chip epsilon matrix of shape (input_dim, columns)."""
+        rng = chip.rng_for(f"{self.tag}:{layer_key}:{self.columns}")
+        if chip.sigma_within == 0.0:
+            return np.zeros((input_dim, self.columns))
+        return rng.normal(0.0, chip.sigma_within, size=(input_dim, self.columns))
+
+    def measure(
+        self,
+        chip: ChipVariation,
+        layer_key: str,
+        patches: np.ndarray,
+        w_max: float,
+    ) -> np.ndarray:
+        """Mean measured LTM output for each MVM input row.
+
+        ``patches`` has shape ``(..., input_dim)`` (im2col rows for a conv,
+        the input matrix for a linear layer); the return has shape ``(...)``.
+        """
+        w_l = self.w_l_relative * w_max
+        sums = patches.sum(axis=-1)
+        clean = (w_l + chip.eps_between * w_max) * sums
+        eps = self._cell_noise(chip, layer_key, patches.shape[-1])
+        noise = (patches @ eps).mean(axis=-1) * w_max
+        return clean + noise
+
+    def w_l(self, w_max: float) -> float:
+        """Programmed LTM cell conductance (relative to the layer's W_max)."""
+        return self.w_l_relative * w_max
+
+    def __repr__(self) -> str:
+        return (
+            f"LayerTuningModule(columns={self.columns}, "
+            f"w_l_relative={self.w_l_relative})"
+        )

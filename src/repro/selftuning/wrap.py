@@ -1,0 +1,30 @@
+"""Attach/detach self-tuning modules on a quantized model.
+
+Per the paper's deployment flow (Sec. III-B): the network is first trained
+with QAVAT capturing only the within-chip variation; the self-tuning
+modules are then *appended* to the trained model — no retraining.
+"""
+
+from __future__ import annotations
+
+from repro.quant.ptq import quantized_layers
+from repro.selftuning.tuner import SelfTuner, SelfTuningConfig
+
+
+def attach_self_tuning(model, config: SelfTuningConfig) -> SelfTuner:
+    """Install one shared :class:`SelfTuner` on every quantized layer.
+
+    Returns the tuner so callers can inspect the GTM estimate, swap
+    configurations, etc.
+    """
+    tuner = SelfTuner(config)
+    for name, layer in quantized_layers(model):
+        layer.self_tuner = tuner
+        layer._st_key = name
+    return tuner
+
+
+def detach_self_tuning(model) -> None:
+    """Remove self-tuning from every quantized layer."""
+    for _, layer in quantized_layers(model):
+        layer.self_tuner = None

@@ -1,0 +1,82 @@
+"""Checkpointing: save/load models (and optimizer state) as ``.npz`` files.
+
+Keeps long QAVAT sweeps restartable and lets the benchmark harness cache
+trained models between runs.  The format is a flat numpy archive:
+
+* ``model/<dotted parameter or buffer name>`` — arrays from ``state_dict``;
+* ``optim/<index>/<slot>`` — optimizer slot arrays (velocity, m, v, ...);
+* ``meta/<key>`` — scalar metadata (stored as 0-d arrays / strings).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+def save_checkpoint(
+    path: str,
+    model,
+    optimizer=None,
+    metadata: dict | None = None,
+) -> None:
+    """Write model (+ optional optimizer state and metadata) to ``path``."""
+    arrays: dict[str, np.ndarray] = {}
+    for name, value in model.state_dict().items():
+        arrays[f"model/{name}"] = value
+    if optimizer is not None:
+        state = optimizer.state_dict()
+        for slot, values in state.items():
+            if isinstance(values, list):
+                for index, array in enumerate(values):
+                    arrays[f"optim/{slot}/{index}"] = array
+            else:
+                arrays[f"optim/{slot}"] = np.asarray(values)
+    for key, value in (metadata or {}).items():
+        arrays[f"meta/{key}"] = np.asarray(value)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(path: str, model, optimizer=None) -> dict:
+    """Restore model (+ optional optimizer) from ``path``; returns metadata.
+
+    The model must already have the same architecture (parameter names and
+    shapes) as the saved one; quantizer scales and BN statistics are buffers
+    in the state dict and are restored too.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        model_state = {
+            key[len("model/"):]: archive[key]
+            for key in archive.files
+            if key.startswith("model/")
+        }
+        model.load_state_dict(model_state)
+        if optimizer is not None:
+            slots: dict[str, object] = {}
+            scalar_keys = [
+                key for key in archive.files
+                if key.startswith("optim/") and key.count("/") == 1
+            ]
+            list_keys = [
+                key for key in archive.files
+                if key.startswith("optim/") and key.count("/") == 2
+            ]
+            for key in scalar_keys:
+                slots[key.split("/")[1]] = archive[key].item()
+            grouped: dict[str, list[tuple[int, np.ndarray]]] = {}
+            for key in list_keys:
+                _, slot, index = key.split("/")
+                grouped.setdefault(slot, []).append((int(index), archive[key]))
+            for slot, items in grouped.items():
+                slots[slot] = [array for _, array in sorted(items)]
+            if slots:
+                optimizer.load_state_dict(slots)
+        metadata = {
+            key[len("meta/"):]: archive[key][()]
+            for key in archive.files
+            if key.startswith("meta/")
+        }
+    return metadata

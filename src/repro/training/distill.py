@@ -1,0 +1,139 @@
+"""Knowledge-distillation baseline ("Noisy Machines", paper ref [16]).
+
+Zhou et al. propose enhancing noisy-hardware robustness by distilling a
+clean float teacher into the noise-injected student: the student's loss is
+a convex combination of the task cross-entropy and the KL divergence to
+the teacher's temperature-softened outputs,
+
+    ``L = (1 - lambda) * CE(student, y)
+        + lambda * T^2 * KL(softmax(teacher/T) || softmax(student/T))``.
+
+The paper cites this as one of the prior implicit-robustification methods
+(single-sample, naive injection); implementing it lets the benchmark suite
+compare QAVAT against the strongest prior training-time recipe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd.ops import log_softmax
+from repro.nn import functional as F
+
+
+def distillation_loss(
+    student_logits: Tensor,
+    teacher_logits: np.ndarray,
+    targets: np.ndarray,
+    temperature: float = 4.0,
+    alpha: float = 0.5,
+) -> Tensor:
+    """Combined hard-label CE + soft-label KD loss.
+
+    ``alpha`` is the soft-label weight (``lambda`` above); the ``T^2``
+    factor keeps gradient magnitudes comparable across temperatures.
+    ``teacher_logits`` is a constant (no gradient flows to the teacher).
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+    if temperature <= 0.0:
+        raise ValueError("temperature must be positive")
+    hard = F.cross_entropy(student_logits, targets)
+    if alpha == 0.0:
+        return hard
+    # Teacher probabilities at temperature T (plain numpy, constant).
+    t_shift = teacher_logits / temperature
+    t_shift = t_shift - t_shift.max(axis=-1, keepdims=True)
+    t_probs = np.exp(t_shift)
+    t_probs /= t_probs.sum(axis=-1, keepdims=True)
+    # KL(teacher || student) = sum t * (log t - log s); the log t term is
+    # constant, so the differentiable part is the soft cross-entropy.
+    student_log_probs = log_softmax(student_logits * (1.0 / temperature))
+    soft_ce = -(Tensor(t_probs) * student_log_probs).sum(axis=-1).mean()
+    entropy = float(-(t_probs * np.log(np.clip(t_probs, 1e-12, None))).sum(axis=-1).mean())
+    soft = (soft_ce - entropy) * (temperature**2)
+    return hard * (1.0 - alpha) + soft * alpha
+
+
+class DistillationTrainer:
+    """Noisy-student training with a frozen clean teacher.
+
+    The student model must have variability installed per step by the
+    caller-supplied ``injector`` (naive, single-sample injection — the
+    prior-work recipe), while the teacher always runs clean.
+    """
+
+    def __init__(
+        self,
+        student,
+        teacher,
+        optimizer,
+        injector,
+        temperature: float = 4.0,
+        alpha: float = 0.5,
+    ) -> None:
+        self.student = student
+        self.teacher = teacher
+        self.optimizer = optimizer
+        self.injector = injector
+        self.temperature = temperature
+        self.alpha = alpha
+
+    def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        self.teacher.eval()
+        with no_grad():
+            teacher_logits = self.teacher(Tensor(inputs)).data
+        self.optimizer.zero_grad()
+        self.injector.resample(self.student)
+        loss = distillation_loss(
+            self.student(Tensor(inputs)),
+            teacher_logits,
+            targets,
+            temperature=self.temperature,
+            alpha=self.alpha,
+        )
+        loss.backward()
+        self.injector.clear(self.student)
+        self.optimizer.step()
+        return float(loss.data)
+
+    def train_epoch(self, batches) -> float:
+        self.student.train()
+        losses = [self.train_step(inputs, targets) for inputs, targets in batches]
+        return float(np.mean(losses)) if losses else 0.0
+
+
+def train_distilled(
+    student,
+    teacher,
+    batch_source,
+    qconfig,
+    spec,
+    epochs: int = 5,
+    lr: float = 0.05,
+    temperature: float = 4.0,
+    alpha: float = 0.5,
+    calibration_batches: int = 8,
+    seed: int = 0,
+):
+    """Full Noisy-Machines pipeline: quantize student, calibrate, distill.
+
+    The teacher stays float and clean; the student is quantization-prepared
+    and trained under naive variability injection with the KD loss.
+    """
+    from repro.quant.calibration import calibrate_model
+    from repro.quant.ptq import convert_to_quantized
+    from repro.training.optim import SGD
+    from repro.variability.injection import VariabilityInjector
+
+    convert_to_quantized(student, qconfig)
+    calibrate_model(student, batch_source(), max_batches=calibration_batches)
+    injector = VariabilityInjector(spec, seed=seed, mode="naive")
+    optimizer = SGD(student.parameters(), lr=lr, momentum=0.9)
+    trainer = DistillationTrainer(
+        student, teacher, optimizer, injector, temperature=temperature, alpha=alpha
+    )
+    for _ in range(epochs):
+        trainer.train_epoch(batch_source())
+    return student

@@ -1,0 +1,144 @@
+"""First-order optimizers over :class:`repro.nn.Parameter` lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clip_grad_norm(parameters, max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.  Non-finite gradients are zeroed (a diverged
+    noisy forward pass should not destroy the parameters).
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    for parameter in parameters:
+        if not np.all(np.isfinite(parameter.grad)):
+            parameter.grad = np.where(np.isfinite(parameter.grad), parameter.grad, 0.0)
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in parameters)))
+    if total > max_norm and total > 0.0:
+        factor = max_norm / total
+        for parameter in parameters:
+            parameter.grad = parameter.grad * factor
+    return total
+
+
+class Optimizer:
+    """Base optimizer: holds parameters and a mutable learning rate."""
+
+    def __init__(self, parameters, lr: float) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with classical (or Nesterov) momentum and L2 weight decay."""
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            velocity *= self.momentum
+            velocity += grad
+            if self.nesterov:
+                parameter.data -= self.lr * (grad + self.momentum * velocity)
+            else:
+                parameter.data -= self.lr * velocity
+
+    def state_dict(self) -> dict:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        for velocity, saved in zip(self._velocity, state["velocity"]):
+            velocity[...] = saved
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (L2 weight decay coupled into the gradient)."""
+
+    decoupled_weight_decay = False
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._step_count = 0
+
+    def step(self) -> None:
+        self._step_count += 1
+        beta1, beta2 = self.betas
+        correction1 = 1.0 - beta1**self._step_count
+        correction2 = 1.0 - beta2**self._step_count
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay and not self.decoupled_weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad * grad
+            m_hat = m / correction1
+            v_hat = v / correction2
+            if self.weight_decay and self.decoupled_weight_decay:
+                parameter.data -= self.lr * self.weight_decay * parameter.data
+            parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+            "step_count": self._step_count,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for m, saved in zip(self._m, state["m"]):
+            m[...] = saved
+        for v, saved in zip(self._v, state["v"]):
+            v[...] = saved
+        self._step_count = int(state["step_count"])
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    decoupled_weight_decay = True

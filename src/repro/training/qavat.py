@@ -1,0 +1,96 @@
+"""QAVAT: multi-variation-sampling joint QAT + VAT (paper Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn import functional as F
+from repro.quant.ptq import quantized_layers, refresh_weight_scales
+from repro.training.optim import clip_grad_norm
+from repro.variability.injection import VariabilityInjector
+
+
+class QavatTrainer:
+    """Implements Algorithm 1 (Multi-Variation Sampling QAVAT).
+
+    Each optimizer step samples a mini-batch, then accumulates the gradients
+    of ``n_variation_samples`` independent variability draws before updating.
+    Losses are averaged over the draws (an unbiased estimate of the expected
+    loss whose variance shrinks with ``n``), keeping the effective step size
+    independent of ``n`` so that the Fig. 7a multi-sampling comparison
+    isolates the variance-reduction effect.
+
+    The model must already be quantization-prepared
+    (:func:`repro.quant.convert_to_quantized`) and activation-calibrated.
+    MMSE weight scales are computed once up front (the paper's default); set
+    ``qconfig.weight_scale_refresh`` to recompute them every that-many steps.
+    """
+
+    def __init__(
+        self,
+        model,
+        optimizer,
+        injector: VariabilityInjector,
+        n_variation_samples: int = 1,
+        loss_fn=F.cross_entropy,
+        lr_schedule=None,
+        max_grad_norm: float = 5.0,
+    ) -> None:
+        if n_variation_samples < 1:
+            raise ValueError("n_variation_samples must be >= 1")
+        self.model = model
+        self.optimizer = optimizer
+        self.injector = injector
+        self.n_variation_samples = n_variation_samples
+        self.loss_fn = loss_fn
+        self.lr_schedule = lr_schedule
+        # Heavy injected noise (layer-fixed variance at high sigma in
+        # particular) occasionally produces exploding batches; without the
+        # clip a single such batch can destroy the pretrained weights.
+        self.max_grad_norm = max_grad_norm
+        self.step_count = 0
+        self._refresh_every = self._weight_scale_refresh()
+
+    def _weight_scale_refresh(self) -> int:
+        for _, layer in quantized_layers(self.model):
+            return layer.qconfig.weight_scale_refresh
+        return 0
+
+    def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """One optimizer step (lines 9-13 of Algorithm 1); returns mean loss."""
+        self.optimizer.zero_grad()
+        total_loss = 0.0
+        for _ in range(self.n_variation_samples):
+            self.injector.resample(self.model)
+            loss = self.loss_fn(self.model(Tensor(inputs)), targets)
+            if self.n_variation_samples > 1:
+                loss = loss * (1.0 / self.n_variation_samples)
+            loss.backward()
+            total_loss += float(loss.data)
+        self.injector.clear(self.model)
+        if self.max_grad_norm:
+            clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
+        self.optimizer.step()
+        self.step_count += 1
+        if self._refresh_every and self.step_count % self._refresh_every == 0:
+            refresh_weight_scales(self.model)
+        return total_loss
+
+    def train_epoch(self, batches) -> float:
+        """One pass over an iterable of (inputs, targets); returns mean loss."""
+        self.model.train()
+        losses = [self.train_step(inputs, targets) for inputs, targets in batches]
+        return float(np.mean(losses)) if losses else 0.0
+
+    def fit(self, batch_source, epochs: int, verbose: bool = False) -> list[float]:
+        """Train for ``epochs`` passes; ``batch_source()`` yields fresh batches."""
+        history = []
+        for epoch in range(epochs):
+            mean_loss = self.train_epoch(batch_source())
+            if self.lr_schedule is not None:
+                self.lr_schedule.step()
+            history.append(mean_loss)
+            if verbose:
+                print(f"epoch {epoch + 1}/{epochs}: loss {mean_loss:.4f}")
+        return history

@@ -1,0 +1,93 @@
+"""Learning-rate schedules (mutate ``optimizer.lr`` per epoch)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.training.optim import Optimizer
+
+
+class LRSchedule:
+    """Base schedule; call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.lr_at(self.epoch)
+
+    def lr_at(self, epoch: int) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    """No decay."""
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRSchedule):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineLR(LRSchedule):
+    """Cosine annealing to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int) -> float:
+        progress = min(epoch / max(self.total_epochs, 1), 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class WarmupCosineLR(LRSchedule):
+    """Linear warmup from ``warmup_start * base_lr``, then cosine annealing.
+
+    Warmup matters more than usual for QAVAT: early steps see both raw
+    quantization error and injected variability, and a full-size first step
+    can push weights across several quantization levels at once.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        total_epochs: int,
+        warmup_epochs: int = 0,
+        warmup_start: float = 0.1,
+        min_lr: float = 0.0,
+    ) -> None:
+        super().__init__(optimizer)
+        if warmup_epochs < 0 or warmup_epochs > total_epochs:
+            raise ValueError("need 0 <= warmup_epochs <= total_epochs")
+        self.total_epochs = total_epochs
+        self.warmup_epochs = warmup_epochs
+        self.warmup_start = warmup_start
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int) -> float:
+        if self.warmup_epochs and epoch < self.warmup_epochs:
+            fraction = epoch / self.warmup_epochs
+            start = self.warmup_start * self.base_lr
+            return start + (self.base_lr - start) * fraction
+        remaining = max(self.total_epochs - self.warmup_epochs, 1)
+        progress = min((epoch - self.warmup_epochs) / remaining, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )

@@ -1,0 +1,44 @@
+"""Fabrication-time conductance variability models (paper Sec. II-B).
+
+Two variance models are supported:
+
+* **weight-proportional** — ``sigma(w) = sigma * |w|`` (Long et al. [2]);
+  reparameterization ``f(eps, w) = eps * w``.
+* **layer-fixed** — ``sigma(w) = sigma * |w_max^l|`` (Joshi et al. [17]);
+  reparameterization ``f(eps, w) = eps * w_max^l``.
+
+The spatial structure follows the additive within-/between-chip
+decomposition: ``eps_i = eps_B + eps_{W,i}`` where ``eps_B ~ N(0, sigma_B^2)``
+is shared by every weight on a chip and ``eps_{W,i} ~ N(0, sigma_W^2)`` is
+iid per memory cell.
+"""
+
+from repro.variability.models import (
+    LayerFixedVariance,
+    VarianceModel,
+    WeightProportionalVariance,
+    variance_model_by_name,
+)
+from repro.variability.sampler import ChipVariation, VariabilitySampler, VariabilitySpec
+from repro.variability.injection import VariabilityInjector, clear_variation, inject_variation
+from repro.variability.faults import (
+    FaultSpec,
+    evaluate_fault_robustness,
+    inject_faults,
+)
+
+__all__ = [
+    "VarianceModel",
+    "WeightProportionalVariance",
+    "LayerFixedVariance",
+    "variance_model_by_name",
+    "VariabilitySpec",
+    "VariabilitySampler",
+    "ChipVariation",
+    "VariabilityInjector",
+    "inject_variation",
+    "clear_variation",
+    "FaultSpec",
+    "inject_faults",
+    "evaluate_fault_robustness",
+]

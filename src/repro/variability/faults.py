@@ -1,0 +1,120 @@
+"""Network-level stuck-at fault injection.
+
+:mod:`repro.pim.nonidealities` models stuck cells at the conductance level;
+this module lifts the same defect model to the fake-quant network path so
+fault tolerance can be evaluated with the standard Monte Carlo protocol.
+A stuck cell pins the *dequantized* weight at an extreme of the layer's
+representable range (stuck-on) or at zero (stuck-off, the open-cell case in
+a differential pair).
+
+The perturbation is expressed as an additive delta on the dequantized
+weights and installed through the existing injection interface (naive mode:
+the delta is a constant in the autograd graph — faults are an inference
+phenomenon, not a training signal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.ptq import quantized_layers
+from repro.variability.models import VarianceModel
+
+
+class AdditiveDelta(VarianceModel):
+    """A variance model carrying a precomputed additive perturbation.
+
+    ``reparameterize(eps, w)`` ignores ``w`` and returns ``eps`` itself —
+    the injection machinery then adds it onto the dequantized weights.
+    """
+
+    name = "additive-delta"
+
+    def std(self, weights: np.ndarray, sigma: float) -> np.ndarray:
+        raise NotImplementedError("additive deltas carry no sigma parameterization")
+
+    def reparameterize(self, eps, weights):
+        from repro.autograd import Tensor
+
+        return Tensor(np.asarray(eps))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Stuck-at defect rates for deployed weights.
+
+    ``p_stuck_off``: probability a weight reads as 0 (open cell);
+    ``p_stuck_on``: probability a weight reads as ±w_max (shorted cell; the
+    sign follows the original weight so the differential mapping stays
+    consistent).
+    """
+
+    p_stuck_off: float = 0.0
+    p_stuck_on: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_stuck_off <= 1.0 or not 0.0 <= self.p_stuck_on <= 1.0:
+            raise ValueError("fault probabilities must be in [0, 1]")
+        if self.p_stuck_off + self.p_stuck_on > 1.0:
+            raise ValueError("total fault probability exceeds 1")
+
+    @property
+    def rate(self) -> float:
+        return self.p_stuck_off + self.p_stuck_on
+
+
+def fault_delta(layer, spec: FaultSpec, rng: np.random.Generator) -> np.ndarray:
+    """Additive delta realizing one sampled fault map on a quantized layer."""
+    w_ideal = layer.dequantized_weight()
+    u = rng.random(w_ideal.shape)
+    stuck_off = u < spec.p_stuck_off
+    stuck_on = (u >= spec.p_stuck_off) & (u < spec.rate)
+    w_max = float(np.max(np.abs(w_ideal))) or 1.0
+    target = w_ideal.copy()
+    target[stuck_off] = 0.0
+    signs = np.where(w_ideal >= 0, 1.0, -1.0)
+    target[stuck_on] = (signs * w_max)[stuck_on]
+    return target - w_ideal
+
+
+def inject_faults(model, spec: FaultSpec, seed: int = 0) -> int:
+    """Install one sampled fault map on every quantized layer.
+
+    Returns the total number of faulted weights.  Remove with
+    :func:`repro.variability.clear_variation`.
+    """
+    rng = np.random.default_rng(seed)
+    model_delta = AdditiveDelta()
+    faulted = 0
+    for _, layer in quantized_layers(model):
+        delta = fault_delta(layer, spec, rng)
+        faulted += int(np.count_nonzero(delta))
+        layer.set_variation(delta, model_delta, "naive")
+    return faulted
+
+
+def evaluate_fault_robustness(
+    model,
+    dataset,
+    spec: FaultSpec,
+    num_maps: int = 20,
+    batch_size: int = 64,
+    seed: int = 0,
+):
+    """Mean accuracy over independently sampled fault maps.
+
+    The fault-map population plays the role of the chip population in the
+    paper's variability protocol.
+    """
+    from repro.eval.robustness import RobustnessResult, _dataset_accuracy
+    from repro.variability.injection import clear_variation
+
+    model.eval()
+    result = RobustnessResult()
+    for index in range(num_maps):
+        inject_faults(model, spec, seed=seed + index)
+        result.accuracies.append(_dataset_accuracy(model, dataset, batch_size))
+    clear_variation(model)
+    return result

@@ -1,0 +1,73 @@
+"""Attaching sampled chip variation to the quantized layers of a model.
+
+Two injection modes are provided:
+
+* ``"reparameterized"`` (default, the paper's contribution): the
+  perturbation is built *inside* the autograd graph as
+  ``w_tilde = w_D + f(eps, w_D)`` with ``eps`` a constant, so the
+  backward pass computes the unbiased estimator of Eq. 2 including the
+  ``(1 + df/dw)`` STE factor of Eq. 4.
+* ``"naive"`` (the biased baseline of Eq. 1): ``delta_w = f(eps, w_D)``
+  is evaluated numerically and added as a constant, so the gradient does
+  not see the dependence of the noise on the weight.
+"""
+
+from __future__ import annotations
+
+from repro.variability.sampler import ChipVariation, VariabilitySampler, VariabilitySpec
+
+INJECTION_MODES = ("reparameterized", "naive")
+
+
+def _quantized_layers(model):
+    """Yield (name, layer) for every variability-capable layer in traversal order."""
+    for name, module in model.named_modules():
+        if getattr(module, "accepts_variation", False):
+            yield name, module
+
+
+class VariabilityInjector:
+    """Samples chips from a spec and installs epsilons on a model's layers."""
+
+    def __init__(
+        self,
+        spec: VariabilitySpec,
+        seed: int = 0,
+        mode: str = "reparameterized",
+    ) -> None:
+        if mode not in INJECTION_MODES:
+            raise ValueError(f"mode must be one of {INJECTION_MODES}, got {mode!r}")
+        self.spec = spec
+        self.mode = mode
+        self.sampler = VariabilitySampler(spec, seed=seed)
+
+    def resample(self, model) -> ChipVariation | None:
+        """Draw a fresh chip and install its variation on ``model``.
+
+        Returns the chip, or ``None`` when the spec is null (QAT baseline).
+        """
+        if self.spec.is_null:
+            clear_variation(model)
+            return None
+        chip = self.sampler.sample_chip()
+        inject_variation(model, chip, self.spec, self.mode)
+        return chip
+
+    def clear(self, model) -> None:
+        """Remove injected variation (restores ideal weights)."""
+        clear_variation(model)
+
+
+def inject_variation(model, chip: ChipVariation, spec: VariabilitySpec, mode: str = "reparameterized") -> None:
+    """Install a specific chip's variation on every quantized layer."""
+    for name, layer in _quantized_layers(model):
+        eps = chip.epsilon_for(name, layer.weight.shape)
+        layer.set_variation(eps, spec.variance_model, mode)
+        layer.current_chip = chip
+
+
+def clear_variation(model) -> None:
+    """Remove any installed variation from the model's quantized layers."""
+    for _, layer in _quantized_layers(model):
+        layer.set_variation(None, None, "reparameterized")
+        layer.current_chip = None

@@ -1,0 +1,89 @@
+"""Variance models: how conductance variation scales with the weight."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+class VarianceModel:
+    """Maps a reparameterized noise draw ``eps`` to a weight perturbation.
+
+    ``delta_w = reparameterize(eps, w)`` must generate the same distribution
+    as the model's ``delta_w ~ N(0, sigma(w)^2)`` when ``eps ~ N(0, sigma^2)``
+    (paper Eq. 2 and Sec. II-B).
+    """
+
+    name = "base"
+
+    def std(self, weights: np.ndarray, sigma: float) -> np.ndarray:
+        """Per-element standard deviation ``sigma(w)``."""
+        raise NotImplementedError
+
+    def reparameterize(self, eps, weights):
+        """Differentiable ``f(eps, w)``; ``weights`` may be a Tensor."""
+        raise NotImplementedError
+
+    def reparameterize_data(self, eps: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Non-differentiable ``f(eps, w)`` on raw arrays (naive injection)."""
+        result = self.reparameterize(eps, Tensor(weights))
+        return result.data if isinstance(result, Tensor) else np.asarray(result)
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}()"
+
+
+class WeightProportionalVariance(VarianceModel):
+    """``sigma(w) = sigma * |w|``; ``f(eps, w) = eps * w``.
+
+    Because ``f`` depends on ``w``, the STE backward picks up the
+    ``(1 + eps)`` factor of Eq. 4 automatically when the perturbation is
+    built inside the autograd graph.
+    """
+
+    name = "weight-proportional"
+
+    def std(self, weights: np.ndarray, sigma: float) -> np.ndarray:
+        return sigma * np.abs(weights)
+
+    def reparameterize(self, eps, weights):
+        return weights * eps
+
+
+class LayerFixedVariance(VarianceModel):
+    """``sigma(w) = sigma * |w_max^l|``; ``f(eps, w) = eps * w_max^l``.
+
+    ``w_max^l`` is the largest-magnitude weight of the layer, treated as a
+    stored digital constant (paper Sec. III-B), so ``df/dw = 0`` and the STE
+    factor reduces to 1.
+    """
+
+    name = "layer-fixed"
+
+    def std(self, weights: np.ndarray, sigma: float) -> np.ndarray:
+        w_max = np.max(np.abs(weights))
+        return np.full_like(weights, sigma * w_max)
+
+    def reparameterize(self, eps, weights):
+        if isinstance(weights, Tensor):
+            w_max = float(np.max(np.abs(weights.data)))
+            # eps may be an ndarray; the product is a constant tensor added
+            # onto the dequantized weights by the caller.
+            return Tensor(eps * w_max)
+        return eps * float(np.max(np.abs(weights)))
+
+
+_MODELS = {
+    WeightProportionalVariance.name: WeightProportionalVariance,
+    LayerFixedVariance.name: LayerFixedVariance,
+    "weight_proportional": WeightProportionalVariance,
+    "layer_fixed": LayerFixedVariance,
+}
+
+
+def variance_model_by_name(name: str) -> VarianceModel:
+    """Look up a variance model by its paper name."""
+    if name not in _MODELS:
+        raise KeyError(f"unknown variance model {name!r}; options: {sorted(_MODELS)}")
+    return _MODELS[name]()

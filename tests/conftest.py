@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_pattern_dataset
+from repro.nn import init
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_init():
+    """Every test starts from the same parameter-init stream."""
+    init.seed(0)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A 5-class learnable dataset small enough for in-test training."""
+    return make_pattern_dataset(5, 20, (1, 12, 12), seed=7, max_shift=1, noise=0.2)

@@ -1,0 +1,150 @@
+"""Tensor mechanics: graph construction, backward, modes."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, is_grad_enabled, no_grad, tensor
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+
+    def test_from_tensor_copies_reference(self):
+        a = Tensor([1.0])
+        b = Tensor(a)
+        assert np.array_equal(a.data, b.data)
+
+    def test_factory(self):
+        t = tensor([[1.0, 2.0]], requires_grad=True)
+        assert t.requires_grad
+        assert t.shape == (1, 2)
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0 + 1.0
+        y.backward()
+        assert x.grad[0] == pytest.approx(3.0)
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        (x * 2.0).backward()
+        assert x.grad[0] == pytest.approx(4.0)
+
+    def test_diamond_graph_sums_paths(self):
+        # y = x*x + x*x has gradient 4x through two paths sharing x.
+        x = Tensor([3.0], requires_grad=True)
+        a = x * x
+        b = x * x
+        (a + b).backward()
+        assert x.grad[0] == pytest.approx(12.0)
+
+    def test_reused_intermediate(self):
+        x = Tensor([2.0], requires_grad=True)
+        shared = x * 2.0
+        out = shared * shared  # (2x)^2 -> d/dx = 8x
+        out.backward()
+        assert x.grad[0] == pytest.approx(16.0)
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_custom_seed_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        y.backward(np.array([1.0, 10.0]))
+        assert np.allclose(x.grad, [2.0, 20.0])
+
+    def test_no_grad_through_constants(self):
+        x = Tensor([1.0], requires_grad=True)
+        c = Tensor([5.0])
+        (x * c).backward()
+        assert c.grad is None
+
+    def test_deep_chain_does_not_recurse(self):
+        # Iterative topological sort must survive graphs deeper than the
+        # python recursion limit.
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.backward()
+        assert x.grad[0] == pytest.approx(1.0)
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._ctx is None
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+    def test_detach_shares_data(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+        assert d.data is x.data
+
+
+class TestOperatorSugar:
+    def test_radd_rsub_rmul_rdiv(self):
+        x = Tensor([4.0], requires_grad=True)
+        y = (1.0 + x) * 2.0
+        z = 10.0 - y
+        w = 8.0 / x
+        assert y.data[0] == pytest.approx(10.0)
+        assert z.data[0] == pytest.approx(0.0)
+        assert w.data[0] == pytest.approx(2.0)
+
+    def test_neg(self):
+        x = Tensor([1.5], requires_grad=True)
+        (-x).backward()
+        assert x.grad[0] == pytest.approx(-1.0)
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2), requires_grad=True)
+        b = Tensor([[1.0], [2.0]])
+        out = a @ b
+        assert out.shape == (2, 1)
+
+    def test_transpose_property(self):
+        a = Tensor(np.zeros((2, 3)))
+        assert a.T.shape == (3, 2)
+
+    def test_flatten(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.flatten(1).shape == (2, 12)
+        assert a.flatten(0).shape == (24,)
+
+    def test_getitem_gradient(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x[0, 1].backward()
+        expected = np.zeros((2, 3))
+        expected[0, 1] = 1.0
+        assert np.allclose(x.grad, expected)
+
+    def test_item(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)

@@ -1,0 +1,78 @@
+"""Integration test: self-tuning along a drift timeline (footnote 2)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import batch_source, synthetic_mnist
+from repro.models import build_model
+from repro.nn import init
+from repro.pim.drift import AgingDrift, DriftingChip
+from repro.quant import QConfig
+from repro.selftuning import (
+    DriftCompensator,
+    SelfTuningConfig,
+    attach_self_tuning,
+    run_drift_timeline,
+)
+from repro.training import train_qavat
+from repro.variability import VariabilitySpec, WeightProportionalVariance
+from repro.variability.sampler import VariabilitySampler
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    train, test = synthetic_mnist(train_per_class=24, test_per_class=8)
+    init.seed(5)
+    model = build_model("lenet5-mini")
+    spec = VariabilitySpec.within_only(0.2, WeightProportionalVariance())
+    train_qavat(
+        model,
+        batch_source(train, 32, seed=0),
+        QConfig.from_notation("A4W2"),
+        spec,
+        epochs=8,
+        lr=0.02,
+        float_pretrain_epochs=5,
+    )
+    return model, test, spec
+
+
+@pytest.mark.slow
+class TestDriftTimeline:
+    def _chip(self, spec, nu=0.15, seed=0):
+        base = VariabilitySampler(spec, seed=seed).sample_chip()
+        return DriftingChip(base, AgingDrift(nu=nu), seed=seed)
+
+    def test_timeline_structure(self, trained_model):
+        model, test, spec = trained_model
+        attach_self_tuning(model, SelfTuningConfig(kind="global", gtm_cells=10_000))
+        chip = self._chip(spec)
+        times = np.array([0.0, 10.0, 50.0])
+        timeline = run_drift_timeline(
+            model, test, chip, spec, times, DriftCompensator(policy="every")
+        )
+        assert [t for t, _, _ in timeline] == [0.0, 10.0, 50.0]
+        eps_values = [eps for _, eps, _ in timeline]
+        assert eps_values[0] > eps_values[-1]  # aging decays eps monotonically
+        assert all(0.0 <= acc <= 1.0 for _, _, acc in timeline)
+
+    def test_refreshed_beats_stale_under_strong_aging(self, trained_model):
+        model, test, spec = trained_model
+        attach_self_tuning(model, SelfTuningConfig(kind="global", gtm_cells=100_000))
+        times = np.linspace(0.0, 200.0, 6)
+
+        def mean_accuracy(policy):
+            accuracies = []
+            for seed in range(3):
+                chip = self._chip(spec, nu=0.2, seed=seed)
+                timeline = run_drift_timeline(
+                    model, test, chip, spec, times, DriftCompensator(policy=policy)
+                )
+                accuracies.append(np.mean([acc for _, _, acc in timeline]))
+            return float(np.mean(accuracies))
+
+        fresh = mean_accuracy("every")
+        stale = mean_accuracy("never")
+        # Aging at nu=0.2 drifts eps_B to ~-1.06 by t=200; a deployment-time
+        # GTM measurement goes badly stale, per-inference refresh tracks it.
+        assert fresh > stale + 0.05

@@ -1,0 +1,158 @@
+"""Tests for distributional robustness statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.robustness import RobustnessResult
+from repro.eval.statistics import (
+    accuracy_quantiles,
+    accuracy_spec_at_yield,
+    bootstrap_mean_interval,
+    epsilon_profile,
+    mean_confidence_interval,
+    parametric_yield,
+    summarize,
+    worst_k_mean,
+)
+
+
+def _result(accuracies, eps=None):
+    return RobustnessResult(list(accuracies), list(eps) if eps is not None else [])
+
+
+class TestQuantiles:
+    def test_median_of_symmetric_data(self):
+        result = _result(np.linspace(0.0, 1.0, 101))
+        assert accuracy_quantiles(result, (0.5,))[0.5] == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_quantiles(_result([]))
+
+    def test_default_quantile_set(self):
+        quantiles = accuracy_quantiles(_result(np.random.default_rng(0).random(100)))
+        assert set(quantiles) == {0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99}
+        ordered = [quantiles[q] for q in sorted(quantiles)]
+        assert ordered == sorted(ordered)
+
+
+class TestConfidenceIntervals:
+    def test_normal_ci_contains_mean(self):
+        rng = np.random.default_rng(1)
+        result = _result(0.7 + 0.05 * rng.normal(size=200))
+        low, high = mean_confidence_interval(result)
+        assert low < result.mean < high
+
+    def test_ci_narrows_with_more_chips(self):
+        rng = np.random.default_rng(2)
+        small = _result(0.7 + 0.05 * rng.normal(size=20))
+        large = _result(0.7 + 0.05 * rng.normal(size=2000))
+        assert (large.mean - mean_confidence_interval(large)[0]) < (
+            small.mean - mean_confidence_interval(small)[0]
+        )
+
+    def test_bootstrap_agrees_with_normal(self):
+        rng = np.random.default_rng(3)
+        result = _result(0.6 + 0.08 * rng.normal(size=500))
+        normal = mean_confidence_interval(result)
+        boot = bootstrap_mean_interval(result, seed=0)
+        assert normal[0] == pytest.approx(boot[0], abs=0.01)
+        assert normal[1] == pytest.approx(boot[1], abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval(_result([0.5]))
+        with pytest.raises(ValueError):
+            mean_confidence_interval(_result([0.5, 0.6]), confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean_interval(_result([0.5]))
+
+
+class TestYield:
+    def test_yield_counts_fraction(self):
+        result = _result([0.9, 0.8, 0.4, 0.3])
+        assert parametric_yield(result, 0.5) == 0.5
+
+    def test_yield_boundary_inclusive(self):
+        assert parametric_yield(_result([0.5]), 0.5) == 1.0
+
+    def test_spec_at_yield_inverts(self):
+        accuracies = np.random.default_rng(4).random(1000)
+        result = _result(accuracies)
+        for target in (0.5, 0.9, 0.99):
+            spec = accuracy_spec_at_yield(result, target)
+            # Feasible: at least `target` of chips meet the derived spec.
+            assert parametric_yield(result, spec) >= target - 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parametric_yield(_result([]), 0.5)
+        with pytest.raises(ValueError):
+            accuracy_spec_at_yield(_result([0.5]), 0.0)
+
+
+class TestWorstK:
+    def test_worst_one_is_min(self):
+        result = _result([0.9, 0.2, 0.7])
+        assert worst_k_mean(result, 1) == pytest.approx(0.2)
+
+    def test_worst_all_is_mean(self):
+        result = _result([0.9, 0.2, 0.7])
+        assert worst_k_mean(result, 3) == pytest.approx(result.mean)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            worst_k_mean(_result([0.5]), 0)
+        with pytest.raises(ValueError):
+            worst_k_mean(_result([0.5]), 2)
+
+
+class TestEpsilonProfile:
+    def test_requires_eps_values(self):
+        with pytest.raises(ValueError):
+            epsilon_profile(_result([0.5, 0.6]))
+
+    def test_profile_shows_tail_collapse(self):
+        """Synthetic chips: accuracy high near eps_B = 0, low in the tails —
+        the Sec. III-A mechanism."""
+        rng = np.random.default_rng(5)
+        eps = rng.normal(0, 0.3, size=2000)
+        accuracy = np.exp(-8.0 * eps**2) * 0.9 + 0.1
+        profile = epsilon_profile(_result(accuracy, eps), bins=9)
+        center = max(profile, key=lambda row: row["mean_accuracy"])
+        assert abs((center["eps_low"] + center["eps_high"]) / 2) < 0.2
+        assert profile[0]["mean_accuracy"] < center["mean_accuracy"]
+        assert profile[-1]["mean_accuracy"] < center["mean_accuracy"]
+
+    def test_chip_counts_sum(self):
+        rng = np.random.default_rng(6)
+        eps = rng.normal(size=500)
+        profile = epsilon_profile(_result(rng.random(500), eps), bins=5)
+        assert sum(row["chips"] for row in profile) == 500
+
+
+class TestSummarize:
+    def test_keys_present(self):
+        rng = np.random.default_rng(7)
+        summary = summarize(_result(rng.random(50)))
+        for key in ("chips", "mean", "std", "worst", "p05", "median", "p95",
+                    "yield_at_spec", "mean_ci95"):
+            assert key in summary
+
+    def test_single_chip_has_no_ci(self):
+        summary = summarize(_result([0.7]))
+        assert "mean_ci95" not in summary
+
+
+@given(
+    spec=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=50, deadline=None)
+def test_yield_is_monotone_in_spec(spec, seed):
+    accuracies = np.random.default_rng(seed).random(50)
+    result = _result(accuracies)
+    tighter = min(spec + 0.1, 1.0)
+    assert parametric_yield(result, tighter) <= parametric_yield(result, spec)

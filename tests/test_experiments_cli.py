@@ -1,0 +1,131 @@
+"""Tests for the result store and the experiments CLI."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.store import ResultStore
+
+
+class TestResultStore:
+    def test_save_and_load_round_trip(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        path = store.save("exp", {"mean": 0.75, "accuracies": [0.7, 0.8]})
+        assert os.path.exists(path)
+        record = store.load("exp")
+        assert record["mean"] == 0.75
+        assert record["accuracies"] == [0.7, 0.8]
+
+    def test_run_indexes_increment(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        first = store.save("exp", {"v": 1})
+        second = store.save("exp", {"v": 2})
+        assert first != second
+        assert store.load("exp")["v"] == 2  # latest by default
+        assert store.load("exp", run=0)["v"] == 1
+
+    def test_numpy_values_serialized(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.save(
+            "np", {"a": np.float64(0.5), "b": np.int64(3), "c": np.arange(3)}
+        )
+        record = store.load("np")
+        assert record == {"a": 0.5, "b": 3, "c": [0, 1, 2]}
+
+    def test_list_names(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.save("alpha", {})
+        store.save("beta", {})
+        store.save("alpha", {})
+        assert store.list_names() == ["alpha", "beta"]
+        assert len(store.list_runs("alpha")) == 2
+
+    def test_missing_record_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ResultStore(str(tmp_path)).load("ghost")
+
+    def test_unsafe_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(str(tmp_path)).save("../evil", {})
+
+    def test_nested_objects_serialized(self, tmp_path):
+        from repro.variability.sampler import VariabilitySpec
+
+        store = ResultStore(str(tmp_path))
+        store.save("spec", {"spec": VariabilitySpec(0.1, 0.2)})
+        record = store.load("spec")
+        assert record["spec"]["sigma_within"] == 0.1
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.method == "qavat"
+        assert args.scenario == "within"
+        assert args.self_tuning == "none"
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--method", "magic"])
+
+    def test_compare_has_no_method_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--method", "qat"])
+
+    def test_sweep_accepts_sigma_list(self):
+        args = build_parser().parse_args(["sweep", "--sigmas", "0.1", "0.2"])
+        assert args.sigmas == [0.1, 0.2]
+        assert args.method == "qavat"
+
+
+class TestCliEndToEnd:
+    def test_list_exit_code(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "qavat" in out and "tiny" in out
+
+    @pytest.mark.slow
+    def test_run_produces_record(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "--method", "qat",
+                "--model", "lenet5",
+                "--notation", "A4W2",
+                "--sigma", "0.1",
+                "--scale", "tiny",
+                "--results-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean %" in out
+        store = ResultStore(str(tmp_path))
+        record = store.load("run-qat-lenet5")
+        assert record["notation"] == "A4W2"
+        assert 0.0 <= record["summary"]["mean"] <= 1.0
+        assert len(record["accuracies"]) > 0
+
+    @pytest.mark.slow
+    def test_run_with_self_tuning(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "--model", "lenet5",
+                "--sigma", "0.3",
+                "--scenario", "mixed",
+                "--self-tuning", "global",
+                "--scale", "tiny",
+                "--results-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        record = ResultStore(str(tmp_path)).load("run-qavat-lenet5")
+        assert record["self_tuning"] == "global"

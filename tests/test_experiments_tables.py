@@ -1,0 +1,41 @@
+"""Tests for the plain-text table renderer used by the benchmark harness."""
+
+from repro.experiments.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["longer", 20.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        # All rows same width structure: columns separated by 2 spaces.
+        assert "a" in lines[2] and "1.50" in lines[2]
+        assert "longer" in lines[3] and "20.25" in lines[3]
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.12" in text
+        assert "0.1234" not in text
+
+    def test_non_float_cells_passthrough(self):
+        text = format_table(["v"], [["-"], [3]])
+        assert "-" in text and "3" in text
+
+
+class TestFormatSeries:
+    def test_one_row_per_x(self):
+        text = format_series("sigma", [0.1, 0.5], {"qavat": [90.0, 70.0], "qat": [88.0, 30.0]})
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + rule + 2 rows
+        assert lines[0].split()[:3] == ["sigma", "qavat", "qat"]
+        assert "70.00" in lines[3]
+
+    def test_column_order_follows_dict(self):
+        text = format_series("x", [1], {"b": [2.0], "a": [3.0]})
+        header = text.splitlines()[0].split()
+        assert header == ["x", "b", "a"]

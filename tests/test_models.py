@@ -1,0 +1,78 @@
+"""Model architectures: shapes, registry, trainability plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.models import LeNet5, ResNet18, VGG11, build_model, list_models
+from repro.models.registry import register_model
+from repro.nn import functional as F
+
+
+class TestShapes:
+    def test_lenet_mnist_shape(self, rng):
+        model = LeNet5(width_multiplier=0.5)
+        with no_grad():
+            out = model(Tensor(rng.normal(size=(2, 1, 28, 28))))
+        assert out.shape == (2, 10)
+
+    def test_vgg_cifar_shape(self, rng):
+        model = VGG11(width_multiplier=0.125)
+        with no_grad():
+            out = model(Tensor(rng.normal(size=(2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_resnet_cifar100_shape(self, rng):
+        model = ResNet18(width_multiplier=0.125)
+        with no_grad():
+            out = model(Tensor(rng.normal(size=(2, 3, 32, 32))))
+        assert out.shape == (2, 100)
+
+    def test_full_width_parameter_counts(self):
+        # Sanity anchors: full LeNet-5 ~61k params; ResNet-18 ~11M.
+        assert 50_000 < LeNet5().num_parameters() < 75_000
+        assert 10_000_000 < ResNet18().num_parameters() < 12_000_000
+
+    def test_width_multiplier_reduces_params(self):
+        assert (
+            ResNet18(width_multiplier=0.25).num_parameters()
+            < ResNet18(width_multiplier=0.5).num_parameters()
+        )
+
+
+class TestRegistry:
+    def test_all_registered_models_run(self, rng):
+        for name in list_models():
+            model = build_model(name)
+            c, h, w = model.input_shape
+            with no_grad():
+                out = model(Tensor(rng.normal(size=(1, c, h, w))))
+            assert out.shape == (1, model.num_classes), name
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_model("lenet5")(lambda: None)
+
+    def test_overrides(self):
+        model = build_model("lenet5-mini", num_classes=7)
+        assert model.num_classes == 7
+
+
+class TestTrainability:
+    def test_gradients_reach_all_parameters(self, rng):
+        model = build_model("resnet10-mini")
+        x = Tensor(rng.normal(size=(2, 3, 32, 32)))
+        loss = F.cross_entropy(model(x), np.array([1, 2]))
+        loss.backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing
+
+    def test_residual_shortcut_present_on_stride(self):
+        model = ResNet18(width_multiplier=0.125)
+        blocks = list(model.stages)
+        assert blocks[0].shortcut is None  # stage 1, stride 1, same width
+        assert blocks[2].shortcut is not None  # stage 2 entry, stride 2

@@ -1,0 +1,79 @@
+"""Tests for Sigmoid, LeakyReLU and Dropout."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.grad_check import gradcheck
+from repro.nn import Dropout, LeakyReLU, Sigmoid
+
+
+class TestSigmoid:
+    def test_range_and_symmetry(self):
+        x = Tensor(np.linspace(-10, 10, 101))
+        y = Sigmoid()(x).data
+        assert np.all((y > 0) & (y < 1))
+        assert y[50] == pytest.approx(0.5)
+        assert np.allclose(y + y[::-1], 1.0)
+
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        assert gradcheck(
+            lambda t: Sigmoid()(t).sum(), [Tensor(rng.normal(size=7), requires_grad=True)]
+        )
+
+
+class TestLeakyReLU:
+    def test_values(self):
+        layer = LeakyReLU(0.1)
+        out = layer(Tensor(np.array([-2.0, 0.0, 3.0]))).data
+        assert np.allclose(out, [-0.2, 0.0, 3.0])
+
+    def test_gradient(self):
+        x = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        LeakyReLU(0.25)(x).sum().backward()
+        assert np.allclose(x.grad, [0.25, 1.0])
+
+    def test_zero_slope_is_relu(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=20)
+        out = LeakyReLU(0.0)(Tensor(data)).data
+        assert np.allclose(out, np.maximum(data, 0.0))
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = Tensor(np.ones(100))
+        assert np.array_equal(layer(x).data, x.data)
+
+    def test_training_zeroes_and_rescales(self):
+        layer = Dropout(0.5, seed=0)
+        out = layer(Tensor(np.ones(10_000))).data
+        kept = out != 0.0
+        assert 0.4 < kept.mean() < 0.6
+        assert np.allclose(out[kept], 2.0)  # inverted scaling by 1/(1-p)
+
+    def test_expectation_preserved(self):
+        layer = Dropout(0.3, seed=1)
+        out = layer(Tensor(np.ones(100_000))).data
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_p_zero_identity(self):
+        layer = Dropout(0.0)
+        x = Tensor(np.ones(8))
+        assert layer(x) is x
+
+    def test_gradient_masks_dropped_units(self):
+        layer = Dropout(0.5, seed=2)
+        x = Tensor(np.ones(1000), requires_grad=True)
+        out = layer(x)
+        out.sum().backward()
+        dropped = out.data == 0.0
+        assert np.all(x.grad[dropped] == 0.0)
+        assert np.allclose(x.grad[~dropped], 2.0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)

@@ -1,0 +1,70 @@
+"""Losses and functional helpers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.grad_check import numerical_gradient
+from repro.nn import functional as F
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self, rng):
+        logits = rng.normal(size=(6, 4))
+        targets = rng.integers(0, 4, size=6)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(6), targets].mean()
+        loss = F.cross_entropy(Tensor(logits, requires_grad=True), targets)
+        assert float(loss.data) == pytest.approx(expected)
+
+    def test_gradient(self, rng):
+        logits = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        targets = rng.integers(0, 5, size=4)
+
+        def f(logits):
+            return F.cross_entropy(logits, targets)
+
+        f(logits).backward()
+        num = numerical_gradient(f, [logits], 0)
+        assert np.allclose(logits.grad, num, atol=1e-6)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -20.0)
+        logits[0, 1] = 20.0
+        logits[1, 2] = 20.0
+        loss = F.cross_entropy(Tensor(logits, requires_grad=True), np.array([1, 2]))
+        assert float(loss.data) < 1e-8
+
+    def test_stable_for_large_logits(self):
+        logits = Tensor(np.array([[1e4, -1e4]]), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([0]))
+        assert np.isfinite(float(loss.data))
+
+
+class TestSoftmax:
+    def test_normalizes(self, rng):
+        probs = F.softmax(Tensor(rng.normal(size=(3, 6)))).data
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert np.all(probs >= 0)
+
+
+class TestMseLoss:
+    def test_value(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([0.0, 0.0])
+        assert float(F.mse_loss(a, b).data) == pytest.approx(2.5)
+
+
+class TestAccuracyHelpers:
+    def test_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert F.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_accepts_tensor(self):
+        logits = Tensor(np.array([[1.0, 0.0]]))
+        assert F.accuracy(logits, np.array([0])) == 1.0
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        assert np.array_equal(out, [[1, 0, 0], [0, 0, 1]])

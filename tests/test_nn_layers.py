@@ -1,0 +1,267 @@
+"""Layers: conv/pool against naive references, BN semantics, linear."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, no_grad
+from repro.autograd.grad_check import numerical_gradient
+from repro.nn.conv import col2im, conv_output_size, im2col
+
+
+def naive_conv2d(x, w, b, stride, padding):
+    """Direct-loop convolution used as a reference."""
+    n, c_in, h, w_in = x.shape
+    c_out, _, kh, kw = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    h_out = (x.shape[2] - kh) // stride + 1
+    w_out = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((n, c_out, h_out, w_out))
+    for i in range(h_out):
+        for j in range(w_out):
+            patch = x[:, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+            out[:, :, i, j] = np.einsum("nchw,ochw->no", patch, w)
+    if b is not None:
+        out += b.reshape(1, -1, 1, 1)
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 1), (3, 2)])
+    def test_matches_naive(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 9, 9))
+        conv = nn.Conv2d(3, 4, 3, stride=stride, padding=padding)
+        expected = naive_conv2d(x, conv.weight.data, conv.bias.data, stride, padding)
+        with no_grad():
+            actual = conv(Tensor(x)).data
+        assert np.allclose(actual, expected, atol=1e-10)
+
+    def test_no_bias(self, rng):
+        conv = nn.Conv2d(2, 3, 3, bias=False)
+        assert conv.bias is None
+        x = rng.normal(size=(1, 2, 5, 5))
+        expected = naive_conv2d(x, conv.weight.data, None, 1, 0)
+        with no_grad():
+            assert np.allclose(conv(Tensor(x)).data, expected, atol=1e-10)
+
+    def test_gradients(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+        conv = nn.Conv2d(2, 3, 3, stride=2, padding=1)
+
+        def f(x):
+            return (conv(x) ** 2).mean()
+
+        f(x).backward()
+        for target, analytic in [
+            (x, x.grad),
+            (conv.weight, conv.weight.grad),
+            (conv.bias, conv.bias.grad),
+        ]:
+            assert analytic is not None
+        num = numerical_gradient(f, [x], 0)
+        assert np.allclose(x.grad, num, atol=1e-5)
+
+    def test_weight_gradient_numeric(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)))
+        conv = nn.Conv2d(2, 2, 3)
+
+        def f(w):
+            conv.weight.data = w.data
+            return (conv(x) ** 2).mean()
+
+        w = Tensor(conv.weight.data.copy(), requires_grad=True)
+        out = (conv(x) ** 2).mean()
+        out.backward()
+        analytic = conv.weight.grad
+        num = numerical_gradient(f, [w], 0)
+        assert np.allclose(analytic, num, atol=1e-5)
+
+    def test_output_shape_helper(self):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        assert conv.output_shape((32, 32)) == (8, 16, 16)
+
+    def test_flops_positive(self):
+        conv = nn.Conv2d(3, 8, 3, padding=1)
+        assert conv.flops_per_input((8, 8)) == 2 * 3 * 9 * 8 * 64
+
+
+class TestIm2col:
+    def test_round_trip_counts(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        cols = im2col(x, (2, 2), 2, 0)
+        assert cols.shape == (1, 2, 2, 4)
+        # Non-overlapping stride: col2im of ones recovers ones.
+        back = col2im(np.ones_like(cols), x.shape, (2, 2), 2, 0)
+        assert np.allclose(back, 1.0)
+
+    def test_overlap_accumulates(self, rng):
+        x_shape = (1, 1, 3, 3)
+        cols = np.ones((1, 2, 2, 4))  # kernel 2, stride 1
+        back = col2im(cols, x_shape, (2, 2), 1, 0)
+        # Center pixel belongs to all four patches.
+        assert back[0, 0, 1, 1] == pytest.approx(4.0)
+        assert back[0, 0, 0, 0] == pytest.approx(1.0)
+
+    def test_output_size(self):
+        assert conv_output_size(32, 3, 1, 1) == 32
+        assert conv_output_size(32, 3, 2, 1) == 16
+        assert conv_output_size(28, 5, 1, 0) == 24
+
+
+class TestPooling:
+    def test_maxpool_matches_naive(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        pool = nn.MaxPool2d(2)
+        with no_grad():
+            out = pool(Tensor(x)).data
+        expected = x.reshape(2, 3, 4, 2, 4, 2).max(axis=(3, 5))
+        assert np.allclose(out, expected)
+
+    def test_maxpool_stride_not_kernel(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        pool = nn.MaxPool2d(3, stride=2)
+        with no_grad():
+            out = pool(Tensor(x)).data
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0, 0, 0] == x[0, 0, :3, :3].max()
+
+    def test_maxpool_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+        pool = nn.MaxPool2d(2)
+
+        def f(x):
+            return (pool(x) ** 2).sum()
+
+        f(x).backward()
+        num = numerical_gradient(f, [x], 0)
+        assert np.allclose(x.grad, num, atol=1e-5)
+
+    def test_avgpool_matches_naive(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        pool = nn.AvgPool2d(2)
+        with no_grad():
+            out = pool(Tensor(x)).data
+        expected = x.reshape(2, 3, 4, 2, 4, 2).mean(axis=(3, 5))
+        assert np.allclose(out, expected)
+
+    def test_avgpool_gradient(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        pool = nn.AvgPool2d(2)
+
+        def f(x):
+            return (pool(x) ** 2).sum()
+
+        f(x).backward()
+        num = numerical_gradient(f, [x], 0)
+        assert np.allclose(x.grad, num, atol=1e-5)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 5, 4, 4))
+        with no_grad():
+            out = nn.GlobalAvgPool2d()(Tensor(x)).data
+        assert out.shape == (2, 5)
+        assert np.allclose(out, x.mean(axis=(2, 3)))
+
+
+class TestLinear:
+    def test_forward(self, rng):
+        layer = nn.Linear(4, 3)
+        x = rng.normal(size=(5, 4))
+        with no_grad():
+            out = layer(Tensor(x)).data
+        assert np.allclose(out, x @ layer.weight.data.T + layer.bias.data)
+
+    def test_gradient(self, rng):
+        layer = nn.Linear(3, 2)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+
+        def f(x):
+            return (layer(x) ** 2).mean()
+
+        f(x).backward()
+        num = numerical_gradient(f, [x], 0)
+        assert np.allclose(x.grad, num, atol=1e-6)
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_flops(self):
+        assert nn.Linear(10, 20).flops_per_input() == 400
+
+
+class TestBatchNorm:
+    def test_train_normalizes_batch(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = rng.normal(loc=5.0, scale=3.0, size=(8, 3, 4, 4))
+        out = bn(Tensor(x)).data
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_running_stats_update(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = rng.normal(loc=2.0, size=(16, 2, 3, 3))
+        bn(Tensor(x))
+        assert np.all(bn.running_mean > 0.5)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = rng.normal(size=(8, 2, 3, 3))
+        for _ in range(20):
+            bn(Tensor(x))
+        bn.eval()
+        out_eval = bn(Tensor(x)).data
+        # After many identical batches, running stats converge to batch stats.
+        assert np.allclose(out_eval.mean(axis=(0, 2, 3)), 0.0, atol=0.05)
+
+    def test_eval_is_deterministic_function(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn(Tensor(rng.normal(size=(4, 2, 3, 3))))
+        bn.eval()
+        x = rng.normal(size=(1, 2, 3, 3))
+        a = bn(Tensor(x)).data
+        b = bn(Tensor(x)).data
+        assert np.array_equal(a, b)
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(2)(Tensor(np.zeros((3, 2))))
+
+    def test_gradient_flows_to_affine_params(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)), requires_grad=True)
+        (bn(x) ** 2).sum().backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+        assert x.grad is not None
+
+
+class TestContainersAndActivations:
+    def test_sequential_order(self, rng):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        x = rng.normal(size=(3, 4))
+        with no_grad():
+            out = model(Tensor(x))
+        assert out.shape == (3, 2)
+        assert len(model) == 3
+
+    def test_sequential_getitem_iter(self):
+        model = nn.Sequential(nn.ReLU(), nn.Tanh())
+        assert isinstance(model[0], nn.ReLU)
+        assert [type(m).__name__ for m in model] == ["ReLU", "Tanh"]
+
+    def test_sequential_append(self):
+        model = nn.Sequential(nn.ReLU())
+        model.append(nn.Tanh())
+        assert len(model) == 2
+
+    def test_flatten_module(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        with no_grad():
+            out = nn.Flatten()(Tensor(x))
+        assert out.shape == (2, 48)
+
+    def test_tanh_gradient(self, rng):
+        from repro.autograd import gradcheck
+
+        x = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        assert gradcheck(lambda x: (nn.Tanh()(x) ** 2).sum(), [x])

@@ -1,0 +1,112 @@
+"""Module system: registration, traversal, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc = nn.Linear(2, 3)
+        self.scale = Parameter(np.ones(3))
+        self.register_buffer("counter", np.zeros(1))
+
+    def forward(self, x):
+        return self.fc(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_found(self):
+        toy = Toy()
+        names = dict(toy.named_parameters())
+        assert set(names) == {"scale", "fc.weight", "fc.bias"}
+
+    def test_num_parameters(self):
+        toy = Toy()
+        assert toy.num_parameters() == 2 * 3 + 3 + 3
+
+    def test_modules_traversal(self):
+        toy = Toy()
+        classes = [type(m).__name__ for m in toy.modules()]
+        assert classes == ["Toy", "Linear"]
+
+    def test_named_modules(self):
+        toy = Toy()
+        names = [name for name, _ in toy.named_modules()]
+        assert "fc" in names
+
+    def test_children(self):
+        toy = Toy()
+        assert len(list(toy.children())) == 1
+
+    def test_apply(self):
+        toy = Toy()
+        seen = []
+        toy.apply(lambda m: seen.append(type(m).__name__))
+        assert seen == ["Toy", "Linear"]
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        toy = Toy()
+        toy.eval()
+        assert not toy.training
+        assert not toy.fc.training
+        toy.train()
+        assert toy.fc.training
+
+    def test_zero_grad(self):
+        toy = Toy()
+        for p in toy.parameters():
+            p.grad = np.ones_like(p.data)
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        toy = Toy()
+        state = toy.state_dict()
+        assert set(state) == {"scale", "counter", "fc.weight", "fc.bias"}
+        other = Toy()
+        other.load_state_dict(state)
+        assert np.array_equal(other.fc.weight.data, toy.fc.weight.data)
+
+    def test_state_dict_copies(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["scale"][:] = 99.0
+        assert not np.any(toy.scale.data == 99.0)
+
+    def test_missing_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["fc.weight"]
+        with pytest.raises(KeyError):
+            Toy().load_state_dict(state)
+
+    def test_buffers_round_trip(self):
+        toy = Toy()
+        toy.set_buffer("counter", np.array([5.0]))
+        other = Toy()
+        other.load_state_dict(toy.state_dict())
+        assert other.counter[0] == 5.0
+
+    def test_set_unknown_buffer_raises(self):
+        with pytest.raises(KeyError):
+            Toy().set_buffer("nope", np.zeros(1))
+
+
+class TestBatchNormStateDict:
+    def test_running_stats_serialized(self, rng):
+        from repro.autograd import Tensor
+
+        bn = nn.BatchNorm2d(2)
+        bn(Tensor(rng.normal(loc=3.0, size=(8, 2, 3, 3))))
+        clone = nn.BatchNorm2d(2)
+        clone.load_state_dict(bn.state_dict())
+        assert np.allclose(clone.running_mean, bn.running_mean)
+        assert np.allclose(clone.running_var, bn.running_var)

@@ -1,0 +1,185 @@
+"""PIM crossbar substrate: converters, mapping, tiling, chip-level MVM."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.pim import (
+    ADC,
+    DAC,
+    ConductanceMapping,
+    CrossbarArray,
+    PimChip,
+    deinterleave_readings,
+    interleave_differential,
+    plan_tiles,
+    tile_count,
+)
+from repro.quant import QConfig, QuantLinear
+from repro.variability import VariabilitySpec, WeightProportionalVariance
+from repro.variability.sampler import ChipVariation
+
+
+class TestConverters:
+    def test_dac_linear_in_range(self):
+        dac = DAC(bits=8, v_step=0.5)
+        assert np.allclose(dac.convert(np.array([0, 1, -2])), [0.0, 0.5, -1.0])
+
+    def test_dac_saturates(self):
+        dac = DAC(bits=4)
+        assert dac.convert(np.array([100.0]))[0] == 7.0
+        assert dac.convert(np.array([-100.0]))[0] == -7.0
+
+    def test_adc_ideal_passthrough(self, rng):
+        currents = rng.normal(size=10)
+        assert np.array_equal(ADC(ideal=True).convert(currents), currents)
+
+    def test_adc_quantizes_to_lsb(self):
+        adc = ADC(bits=4, full_scale=7.0)  # lsb = 1.0
+        assert adc.convert(np.array([2.4]))[0] == pytest.approx(2.0)
+        assert adc.convert(np.array([100.0]))[0] == pytest.approx(7.0)
+
+    def test_adc_error_bounded(self, rng):
+        adc = ADC(bits=10, full_scale=1.0)
+        x = rng.uniform(-1, 1, size=200)
+        assert np.abs(adc.convert(x) - x).max() <= adc.lsb / 2 + 1e-12
+
+
+class TestMapping:
+    def test_differential_split(self):
+        mapping = ConductanceMapping(g_unit=2.0)
+        pos, neg = mapping.to_differential(np.array([3.0, -2.0, 0.0]))
+        assert np.allclose(pos, [6.0, 0.0, 0.0])
+        assert np.allclose(neg, [0.0, 4.0, 0.0])
+
+    def test_round_trip(self, rng):
+        mapping = ConductanceMapping(g_unit=0.5)
+        codes = rng.integers(-7, 8, size=(4, 5)).astype(float)
+        pos, neg = mapping.to_differential(codes)
+        assert np.allclose(mapping.from_differential(pos, neg), codes)
+
+    def test_interleave_round_trip(self, rng):
+        pos = rng.uniform(size=(3, 4))
+        neg = rng.uniform(size=(3, 4))
+        packed = interleave_differential(pos, neg)
+        assert packed.shape == (3, 8)
+        p2, n2 = deinterleave_readings(packed)
+        assert np.array_equal(p2, pos)
+        assert np.array_equal(n2, neg)
+
+
+class TestTiling:
+    def test_tiles_cover_matrix(self):
+        tiles = plan_tiles(100, 50, 32, 16)
+        covered = np.zeros((100, 50), dtype=int)
+        for tile in tiles:
+            covered[tile.row_start : tile.row_stop, tile.col_start : tile.col_stop] += 1
+        assert np.all(covered == 1)
+
+    def test_tile_count(self):
+        assert tile_count(512, 512, 512, 512) == 1
+        assert tile_count(513, 512, 512, 512) == 2
+        assert tile_count(1024, 1024, 512, 512) == 4
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            plan_tiles(10, 10, 0, 5)
+
+
+class TestCrossbarArray:
+    def test_program_shape_check(self):
+        array = CrossbarArray(4, 3)
+        with pytest.raises(ValueError):
+            array.program(np.zeros((3, 4)))
+
+    def test_ideal_mvm_is_matmul(self, rng):
+        array = CrossbarArray(6, 4, adc=ADC(ideal=True))
+        g = rng.uniform(0, 1, size=(6, 4))
+        array.program(g)
+        x = rng.integers(-3, 4, size=(2, 6)).astype(float)
+        assert np.allclose(array.mvm(x), x @ g)
+
+    def test_variation_perturbs_then_clears(self, rng):
+        array = CrossbarArray(5, 5, key="a")
+        g = rng.uniform(0.1, 1, size=(5, 5))
+        array.program(g)
+        chip = ChipVariation(0.1, 0.2, seed=0)
+        array.apply_variation(chip, WeightProportionalVariance())
+        assert not np.allclose(array.physical, g)
+        array.clear_variation()
+        assert np.allclose(array.physical, g)
+
+    def test_input_width_check(self):
+        array = CrossbarArray(4, 2)
+        array.program(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            array.mvm(np.zeros((1, 5)))
+
+
+class TestPimChip:
+    def _layer(self, rng, d_in=20, d_out=7):
+        layer = QuantLinear(d_in, d_out, QConfig(activation_bits=4, weight_bits=2))
+        layer.set_activation_scale(0.1)
+        return layer
+
+    def test_ideal_chip_matches_fake_quant_exactly(self, rng):
+        layer = self._layer(rng)
+        chip = PimChip(VariabilitySpec.null(), array_rows=8, array_cols=6, seed=0)
+        mapped = chip.deploy_linear(layer, "fc")
+        x = rng.normal(size=(5, 20)) * 0.3
+        with no_grad():
+            expected = layer(Tensor(x)).data
+        assert np.allclose(mapped.forward(x), expected, atol=1e-12)
+        assert mapped.array_count == tile_count(20, 7, 8, 3)
+
+    def test_adc_resolution_bounds_error(self, rng):
+        layer = self._layer(rng)
+        coarse = PimChip(
+            VariabilitySpec.null(),
+            array_rows=32,
+            array_cols=16,
+            adc=ADC(bits=6, full_scale=64.0),
+            seed=0,
+        )
+        mapped = coarse.deploy_linear(layer, "fc")
+        x = rng.normal(size=(3, 20)) * 0.3
+        with no_grad():
+            expected = layer(Tensor(x)).data
+        got = mapped.forward(x)
+        assert not np.allclose(got, expected, atol=1e-12)  # ADC error present
+        scale = float(layer.act_scale) * float(layer.weight_scale)
+        # Differential readout: two ADC conversions per output.
+        assert np.abs(got - expected).max() <= 2 * coarse.adc.lsb * scale
+
+    def test_variation_changes_output(self, rng):
+        layer = self._layer(rng)
+        spec = VariabilitySpec.mixed(0.3, WeightProportionalVariance())
+        chip = PimChip(spec, array_rows=16, array_cols=8, seed=2)
+        mapped = chip.deploy_linear(layer, "fc")
+        x = rng.normal(size=(3, 20)) * 0.3
+        with no_grad():
+            ideal = layer(Tensor(x)).data
+        assert not np.allclose(mapped.forward(x), ideal)
+
+    def test_gtm_read_estimates_eps_b(self):
+        spec = VariabilitySpec.mixed(0.3, WeightProportionalVariance())
+        chip = PimChip(spec, seed=4)
+        estimate = chip.gtm_read(num_cells=200_000)
+        assert estimate == pytest.approx(chip.variation.eps_between, abs=0.005)
+
+    def test_gtm_read_exact_without_within_noise(self):
+        spec = VariabilitySpec(0.0, 0.2, WeightProportionalVariance())
+        chip = PimChip(spec, seed=9)
+        assert chip.gtm_read(10) == pytest.approx(chip.variation.eps_between, abs=1e-12)
+
+    def test_uncalibrated_layer_rejected(self, rng):
+        layer = QuantLinear(4, 2, QConfig())
+        chip = PimChip(VariabilitySpec.null(), seed=0)
+        with pytest.raises(RuntimeError):
+            chip.deploy_linear(layer, "fc")
+
+    def test_total_arrays(self, rng):
+        chip = PimChip(VariabilitySpec.null(), array_rows=8, array_cols=6, seed=0)
+        chip.deploy_linear(self._layer(rng), "a")
+        chip.deploy_linear(self._layer(rng, 10, 3), "b")
+        assert chip.total_arrays == len(chip.layers["a"].tiles) + len(chip.layers["b"].tiles)

@@ -1,0 +1,129 @@
+"""Tests for two's-complement bit-slicing and the sliced MVM pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pim.bitslicing import (
+    BitSlicingScheme,
+    assemble_signed,
+    slice_signed,
+    slice_weights_signed_msb,
+)
+
+
+class TestSliceRoundTrip:
+    def test_simple_values(self):
+        codes = np.array([-8, -1, 0, 1, 7])
+        slices = slice_signed(codes, total_bits=4, bits_per_slice=2)
+        assert slices.shape == (2, 5)
+        assert np.array_equal(assemble_signed(slices, 4, 2), codes)
+
+    def test_single_slice_degenerate(self):
+        codes = np.array([-2, 0, 1])
+        slices = slice_signed(codes, total_bits=2, bits_per_slice=2)
+        assert slices.shape == (1, 3)
+        assert np.array_equal(assemble_signed(slices, 2, 2), codes)
+
+    def test_slices_are_unsigned(self):
+        codes = np.arange(-128, 128)
+        slices = slice_signed(codes, total_bits=8, bits_per_slice=1)
+        assert slices.min() >= 0
+        assert slices.max() <= 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            slice_signed(np.array([8]), total_bits=4, bits_per_slice=2)
+        with pytest.raises(ValueError):
+            slice_signed(np.array([-9]), total_bits=4, bits_per_slice=2)
+
+    def test_rejects_non_divisible_bits(self):
+        with pytest.raises(ValueError):
+            slice_signed(np.array([0]), total_bits=4, bits_per_slice=3)
+
+    def test_rejects_fractional_codes(self):
+        with pytest.raises(ValueError):
+            slice_signed(np.array([0.5]), total_bits=4, bits_per_slice=2)
+
+    def test_accepts_float_integers(self):
+        slices = slice_signed(np.array([3.0, -4.0]), total_bits=4, bits_per_slice=2)
+        assert np.array_equal(assemble_signed(slices, 4, 2), [3, -4])
+
+    def test_assemble_validates_slice_count(self):
+        with pytest.raises(ValueError):
+            assemble_signed(np.zeros((3, 2)), total_bits=4, bits_per_slice=2)
+
+
+class TestSignedMsbDigits:
+    def test_recombination_with_coefficients(self):
+        codes = np.arange(-8, 8)
+        slices, coeffs = slice_weights_signed_msb(codes, 4, 2)
+        recombined = sum(coeffs[i] * slices[i] for i in range(len(coeffs)))
+        assert np.array_equal(recombined.astype(int), codes)
+
+    def test_msb_digit_range(self):
+        codes = np.arange(-8, 8)
+        slices, _ = slice_weights_signed_msb(codes, 4, 2)
+        assert slices[-1].min() >= -2
+        assert slices[-1].max() <= 1
+        # Lower slices stay unsigned.
+        assert slices[0].min() >= 0
+
+
+class TestBitSlicingScheme:
+    def test_slice_counts(self):
+        scheme = BitSlicingScheme(weight_bits=4, activation_bits=8, bits_per_cell=2, dac_bits=1)
+        assert scheme.weight_slices == 2
+        assert scheme.input_cycles == 8
+        assert scheme.column_expansion == 2
+
+    def test_invalid_combination(self):
+        with pytest.raises(ValueError):
+            BitSlicingScheme(weight_bits=4, bits_per_cell=3)
+        with pytest.raises(ValueError):
+            BitSlicingScheme(activation_bits=8, dac_bits=3)
+
+    def test_mvm_exact_small(self):
+        scheme = BitSlicingScheme(weight_bits=4, activation_bits=4, bits_per_cell=2, dac_bits=2)
+        rng = np.random.default_rng(0)
+        a = rng.integers(-8, 8, size=(5, 7))
+        w = rng.integers(-8, 8, size=(7, 3))
+        assert np.array_equal(scheme.mvm(a, w), a @ w)
+
+    def test_mvm_exact_bit_serial(self):
+        scheme = BitSlicingScheme(weight_bits=2, activation_bits=8, bits_per_cell=1, dac_bits=1)
+        rng = np.random.default_rng(1)
+        a = rng.integers(-128, 128, size=(4, 16))
+        w = rng.integers(-2, 2, size=(16, 5))
+        assert np.array_equal(scheme.mvm(a, w), a @ w)
+
+    def test_adc_dynamic_range_positive(self):
+        scheme = BitSlicingScheme()
+        assert scheme.adc_dynamic_range(rows=512) > 0
+
+
+@given(
+    total_bits=st.sampled_from([2, 4, 8]),
+    bits_per_slice=st.sampled_from([1, 2]),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_round_trip_property(total_bits, bits_per_slice, seed):
+    if total_bits % bits_per_slice != 0:
+        return
+    rng = np.random.default_rng(seed)
+    half = 2 ** (total_bits - 1)
+    codes = rng.integers(-half, half, size=20)
+    slices = slice_signed(codes, total_bits, bits_per_slice)
+    assert np.array_equal(assemble_signed(slices, total_bits, bits_per_slice), codes)
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=40, deadline=None)
+def test_sliced_mvm_equals_integer_matmul(seed):
+    rng = np.random.default_rng(seed)
+    scheme = BitSlicingScheme(weight_bits=4, activation_bits=4, bits_per_cell=1, dac_bits=2)
+    a = rng.integers(-8, 8, size=(3, 9))
+    w = rng.integers(-8, 8, size=(9, 4))
+    assert np.array_equal(scheme.mvm(a, w), a @ w)

@@ -1,0 +1,60 @@
+"""Tests for ADC non-idealities (offset, gain, noise, ENOB)."""
+
+import numpy as np
+import pytest
+
+from repro.pim.converters import ADC
+
+
+class TestAdcDistortion:
+    def test_default_is_clean(self):
+        adc = ADC(ideal=True)
+        x = np.linspace(-1, 1, 11)
+        assert np.array_equal(adc.convert(x), x)
+
+    def test_offset_shifts_readings(self):
+        adc = ADC(ideal=True, offset_error=0.01, full_scale=2.0)
+        out = adc.convert(np.zeros(5))
+        assert np.allclose(out, 0.02)
+
+    def test_gain_scales_readings(self):
+        adc = ADC(ideal=True, gain_error=0.05)
+        out = adc.convert(np.array([1.0, -1.0]))
+        assert np.allclose(out, [1.05, -1.05])
+
+    def test_noise_statistics(self):
+        adc = ADC(ideal=True, noise_rms=0.01, full_scale=2.0, noise_seed=0)
+        out = adc.convert(np.zeros(100_000))
+        assert abs(out.mean()) < 1e-3
+        assert out.std() == pytest.approx(0.02, rel=0.05)
+
+    def test_noise_fresh_per_conversion(self):
+        adc = ADC(ideal=True, noise_rms=0.01)
+        first = adc.convert(np.zeros(10))
+        second = adc.convert(np.zeros(10))
+        assert not np.array_equal(first, second)
+
+    def test_quantization_applies_after_distortion(self):
+        adc = ADC(bits=4, full_scale=1.0, offset_error=0.5)
+        out = adc.convert(np.array([0.0]))
+        # 0 + 0.5 offset -> quantized onto the 4-bit grid.
+        assert out[0] == pytest.approx(0.5, abs=adc.lsb)
+
+    def test_saturation(self):
+        adc = ADC(bits=8, full_scale=1.0)
+        assert adc.convert(np.array([10.0]))[0] == pytest.approx(1.0)
+        assert adc.convert(np.array([-10.0]))[0] == pytest.approx(-1.0)
+
+
+class TestEnob:
+    def test_noise_free_is_nominal(self):
+        assert ADC(bits=10).effective_resolution_bits() == 10.0
+
+    def test_noise_reduces_resolution(self):
+        noisy = ADC(bits=10, noise_rms=0.01)
+        assert noisy.effective_resolution_bits() < 10.0
+
+    def test_more_noise_fewer_bits(self):
+        a = ADC(bits=12, noise_rms=0.001).effective_resolution_bits()
+        b = ADC(bits=12, noise_rms=0.01).effective_resolution_bits()
+        assert b < a

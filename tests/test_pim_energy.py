@@ -1,0 +1,150 @@
+"""Tests for the event-based energy/latency/area cost model."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.pim.energy import (
+    CostModel,
+    CostReport,
+    LayerGeometry,
+    PimCostEstimator,
+    digital_baseline_cost,
+    geometries_from_model,
+)
+from repro.quant import QConfig, calibrate_model, convert_to_quantized
+
+
+class TestEstimatorSetup:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            PimCostEstimator(array_rows=0)
+        with pytest.raises(ValueError):
+            PimCostEstimator(adcs_per_array=0)
+
+    def test_logical_columns_account_for_differential_and_slicing(self):
+        estimator = PimCostEstimator(array_cols=512, weight_slices=2, differential=True)
+        assert estimator.logical_cols_per_array == 128
+        estimator = PimCostEstimator(array_cols=512, weight_slices=1, differential=False)
+        assert estimator.logical_cols_per_array == 512
+
+    def test_arrays_for_small_layer(self):
+        estimator = PimCostEstimator(array_rows=512, array_cols=512, weight_slices=1)
+        geometry = LayerGeometry(d_in=100, d_out=100)
+        assert estimator.arrays_for(geometry) == 1
+
+    def test_arrays_for_large_layer(self):
+        estimator = PimCostEstimator(array_rows=512, array_cols=512, weight_slices=1)
+        geometry = LayerGeometry(d_in=1024, d_out=300)
+        # 2 row tiles x 2 column tiles (256 logical cols per array).
+        assert estimator.arrays_for(geometry) == 4
+
+
+class TestLayerCost:
+    def test_all_costs_positive(self):
+        estimator = PimCostEstimator()
+        report = estimator.layer_cost(LayerGeometry(128, 64, mvm_count=10))
+        assert report.energy_pj > 0
+        assert report.latency_ns > 0
+        assert report.area_um2 > 0
+        assert report.adc_conversions > 0
+
+    def test_energy_scales_with_mvm_count(self):
+        estimator = PimCostEstimator()
+        one = estimator.layer_cost(LayerGeometry(128, 64, mvm_count=1))
+        ten = estimator.layer_cost(LayerGeometry(128, 64, mvm_count=10))
+        assert ten.energy_pj == pytest.approx(10 * one.energy_pj)
+        assert ten.latency_ns == pytest.approx(10 * one.latency_ns)
+
+    def test_bit_serial_multiplies_cycles(self):
+        fast = PimCostEstimator(input_cycles=1)
+        slow = PimCostEstimator(input_cycles=8)
+        geometry = LayerGeometry(128, 64)
+        assert slow.layer_cost(geometry).energy_pj == pytest.approx(
+            8 * fast.layer_cost(geometry).energy_pj
+        )
+
+    def test_adc_sharing_trades_latency_for_area(self):
+        few_adcs = PimCostEstimator(adcs_per_array=4)
+        many_adcs = PimCostEstimator(adcs_per_array=64)
+        geometry = LayerGeometry(256, 128)
+        assert (
+            few_adcs.layer_cost(geometry).latency_ns
+            > many_adcs.layer_cost(geometry).latency_ns
+        )
+        assert (
+            few_adcs.layer_cost(geometry).area_um2
+            < many_adcs.layer_cost(geometry).area_um2
+        )
+
+    def test_model_cost_accumulates_breakdown(self):
+        estimator = PimCostEstimator()
+        layers = [LayerGeometry(64, 32, name="a"), LayerGeometry(32, 10, name="b")]
+        total = estimator.model_cost(layers)
+        assert set(total.breakdown) == {"a", "b"}
+        assert total.energy_pj == pytest.approx(
+            sum(r.energy_pj for r in total.breakdown.values())
+        )
+
+
+class TestSelfTuningCost:
+    def test_ltm_cost_scales_with_columns(self):
+        estimator = PimCostEstimator()
+        layers = [LayerGeometry(128, 64)]
+        one = estimator.self_tuning_cost(layers, gtm_cells=1000, ltm_columns=1)
+        sixteen = estimator.self_tuning_cost(layers, gtm_cells=1000, ltm_columns=16)
+        assert sixteen.energy_pj > one.energy_pj
+        assert sixteen.area_um2 > one.area_um2
+
+    def test_self_tuning_is_small_fraction(self):
+        """The paper's overhead story: ST costs percent-level, not more."""
+        estimator = PimCostEstimator()
+        layers = [LayerGeometry(512, 512, mvm_count=64) for _ in range(8)]
+        base = estimator.model_cost(layers)
+        tuning = estimator.self_tuning_cost(layers, gtm_cells=1000, ltm_columns=1)
+        assert tuning.energy_pj / base.energy_pj < 0.05
+
+    def test_gtm_read_once_per_inference(self):
+        estimator = PimCostEstimator()
+        no_layers = estimator.self_tuning_cost([], gtm_cells=10_000, ltm_columns=1)
+        assert no_layers.adc_conversions == 1
+        assert no_layers.energy_pj == pytest.approx(
+            10_000 * estimator.cost.energy_cell_mac + estimator.cost.energy_adc
+        )
+
+
+class TestDigitalBaseline:
+    def test_pim_beats_digital_on_energy(self):
+        """The motivating claim of analog PIM (paper ref [1])."""
+        layers = [LayerGeometry(512, 512, mvm_count=32)]
+        pim = PimCostEstimator(input_cycles=8).model_cost(layers)
+        digital = digital_baseline_cost(layers)
+        assert pim.energy_pj < digital.energy_pj
+
+    def test_digital_energy_formula(self):
+        cost = CostModel(energy_digital_mac=1.0)
+        report = digital_baseline_cost([LayerGeometry(10, 10, mvm_count=2)], cost)
+        assert report.energy_pj == pytest.approx(200.0)
+
+
+class TestGeometryExtraction:
+    def test_geometries_from_quantized_model(self):
+        model = build_model("lenet5-mini")
+        model = convert_to_quantized(model, QConfig.from_notation("A4W4"))
+        rng = np.random.default_rng(0)
+        calibrate_model(model, [rng.normal(size=(4, 1, 28, 28))])
+        geometries = geometries_from_model(model, (1, 28, 28))
+        assert len(geometries) >= 3  # convs + linears
+        assert all(g.d_in > 0 and g.d_out > 0 and g.mvm_count >= 1 for g in geometries)
+        # Conv layers run one MVM per output position.
+        assert any(g.mvm_count > 1 for g in geometries)
+
+
+class TestCostReport:
+    def test_energy_unit_conversion(self):
+        report = CostReport(energy_pj=2_000_000.0)
+        assert report.energy_uj == pytest.approx(2.0)
+
+    def test_repr_is_informative(self):
+        text = repr(CostReport(energy_pj=1.0, latency_ns=2.0, area_um2=3.0))
+        assert "energy" in text and "latency" in text

@@ -1,0 +1,116 @@
+"""Tests for IR-drop and stuck-at-fault models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pim.nonidealities import (
+    IRDropModel,
+    StuckAtFaultModel,
+    expected_fault_error_power,
+)
+
+
+class TestIRDrop:
+    def test_zero_resistance_is_identity(self):
+        model = IRDropModel(wire_resistance=0.0)
+        conductances = np.random.default_rng(0).random((8, 8))
+        assert np.array_equal(model.apply(conductances), conductances)
+        assert np.all(model.attenuation_map(8, 8) == 1.0)
+
+    def test_attenuation_in_unit_interval(self):
+        attenuation = IRDropModel(wire_resistance=0.01).attenuation_map(64, 64)
+        assert attenuation.max() <= 1.0
+        assert attenuation.min() > 0.0
+
+    def test_near_cell_unattenuated(self):
+        attenuation = IRDropModel(wire_resistance=0.05).attenuation_map(16, 16)
+        assert attenuation[0, 0] == 1.0
+
+    def test_monotone_along_rows_and_cols(self):
+        attenuation = IRDropModel(wire_resistance=0.02).attenuation_map(32, 32)
+        assert np.all(np.diff(attenuation, axis=0) < 0)
+        assert np.all(np.diff(attenuation, axis=1) < 0)
+
+    def test_worst_case_is_far_corner(self):
+        model = IRDropModel(wire_resistance=0.01)
+        attenuation = model.attenuation_map(32, 32)
+        assert model.worst_case_attenuation(32, 32) == pytest.approx(
+            attenuation.min()
+        )
+
+    def test_larger_array_suffers_more(self):
+        model = IRDropModel(wire_resistance=0.005)
+        assert model.worst_case_attenuation(512, 512) < model.worst_case_attenuation(64, 64)
+
+    def test_rejects_negative_resistance(self):
+        with pytest.raises(ValueError):
+            IRDropModel(wire_resistance=-0.1)
+
+
+class TestStuckAtFaults:
+    def test_zero_rate_is_identity(self):
+        model = StuckAtFaultModel()
+        g = np.random.default_rng(0).random((10, 10))
+        fault_map = model.sample_map(g.shape, np.random.default_rng(1))
+        assert np.array_equal(model.apply(g, fault_map), g)
+
+    def test_fault_rates_respected(self):
+        model = StuckAtFaultModel(p_stuck_off=0.1, p_stuck_on=0.05)
+        rng = np.random.default_rng(2)
+        off, on = model.sample_map((1000, 100), rng)
+        assert off.mean() == pytest.approx(0.1, abs=0.01)
+        assert on.mean() == pytest.approx(0.05, abs=0.01)
+        assert not np.any(off & on)  # disjoint
+
+    def test_apply_overrides_values(self):
+        model = StuckAtFaultModel(p_stuck_off=0.5, p_stuck_on=0.3, g_off=0.0, g_on=2.0)
+        g = np.full((50, 50), 0.7)
+        off, on = model.sample_map(g.shape, np.random.default_rng(3))
+        faulted = model.apply(g, (off, on))
+        assert np.all(faulted[off] == 0.0)
+        assert np.all(faulted[on] == 2.0)
+        untouched = ~(off | on)
+        assert np.all(faulted[untouched] == 0.7)
+
+    def test_apply_does_not_mutate_input(self):
+        model = StuckAtFaultModel(p_stuck_off=1.0)
+        g = np.full((4, 4), 0.5)
+        fault_map = model.sample_map(g.shape, np.random.default_rng(4))
+        model.apply(g, fault_map)
+        assert np.all(g == 0.5)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            StuckAtFaultModel(p_stuck_off=-0.1)
+        with pytest.raises(ValueError):
+            StuckAtFaultModel(p_stuck_off=0.7, p_stuck_on=0.4)
+
+    def test_expected_error_power(self):
+        model = StuckAtFaultModel(p_stuck_off=0.1, g_off=0.0)
+        g = np.full(1000, 0.5)
+        # E[err^2] = p_off * (0.5)^2
+        assert expected_fault_error_power(model, g) == pytest.approx(0.1 * 0.25)
+
+    def test_error_power_matches_monte_carlo(self):
+        model = StuckAtFaultModel(p_stuck_off=0.05, p_stuck_on=0.02, g_on=1.5)
+        g = np.random.default_rng(5).random(200_000)
+        rng = np.random.default_rng(6)
+        faulted = model.apply(g, model.sample_map(g.shape, rng))
+        empirical = float(((faulted - g) ** 2).mean())
+        assert empirical == pytest.approx(expected_fault_error_power(model, g), rel=0.05)
+
+
+@given(
+    r=st.floats(min_value=0.0, max_value=0.1),
+    rows=st.integers(min_value=1, max_value=64),
+    cols=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=50, deadline=None)
+def test_attenuation_bounds_property(r, rows, cols):
+    attenuation = IRDropModel(wire_resistance=r).attenuation_map(rows, cols)
+    assert attenuation.shape == (rows, cols)
+    assert np.all(attenuation > 0.0)
+    assert np.all(attenuation <= 1.0)
+    assert attenuation[0, 0] == 1.0

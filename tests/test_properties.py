@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor
+from repro.autograd.function import unbroadcast
+from repro.quant import QuantSpec, dequantize, fake_quantize, minmax_scale, mmse_scale, quantize
+from repro.quant.scaling import quantization_mse
+from repro.variability.sampler import ChipVariation
+
+finite_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=40),
+    elements=st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False),
+)
+
+bits = st.integers(min_value=2, max_value=8)
+scales = st.floats(min_value=1e-3, max_value=10.0, allow_nan=False)
+
+
+class TestQuantizerProperties:
+    @given(x=finite_arrays, k=bits, scale=scales)
+    @settings(max_examples=60, deadline=None)
+    def test_codes_within_symmetric_range(self, x, k, scale):
+        spec = QuantSpec(k)
+        codes = quantize(x, scale, spec)
+        assert codes.min() >= spec.qmin
+        assert codes.max() <= spec.qmax
+
+    @given(x=finite_arrays, k=bits, scale=scales)
+    @settings(max_examples=60, deadline=None)
+    def test_codes_are_integers(self, x, k, scale):
+        codes = quantize(x, scale, QuantSpec(k))
+        assert np.array_equal(codes, np.rint(codes))
+
+    @given(x=finite_arrays, k=bits, scale=scales)
+    @settings(max_examples=60, deadline=None)
+    def test_quantization_idempotent(self, x, k, scale):
+        spec = QuantSpec(k)
+        once = dequantize(quantize(x, scale, spec), scale)
+        twice = dequantize(quantize(once, scale, spec), scale)
+        assert np.allclose(once, twice)
+
+    @given(x=finite_arrays, k=bits, scale=scales)
+    @settings(max_examples=60, deadline=None)
+    def test_fake_quant_matches_quantize_dequantize(self, x, k, scale):
+        spec = QuantSpec(k)
+        via_tensor = fake_quantize(Tensor(x), scale, spec).data
+        direct = dequantize(quantize(x, scale, spec), scale)
+        assert np.allclose(via_tensor, direct)
+
+    @given(x=finite_arrays, k=bits)
+    @settings(max_examples=40, deadline=None)
+    def test_mmse_never_worse_than_minmax(self, x, k):
+        spec = QuantSpec(k)
+        mmse = quantization_mse(x, mmse_scale(x, spec), spec)
+        naive = quantization_mse(x, minmax_scale(x, spec), spec)
+        assert mmse <= naive + 1e-12
+
+    @given(x=finite_arrays, k=bits, scale=scales)
+    @settings(max_examples=40, deadline=None)
+    def test_quantization_is_contraction_toward_grid(self, x, k, scale):
+        # |Q(x) - x| <= max(lsb/2, distance to the clip boundary): the error
+        # of values inside the representable range is at most half an LSB.
+        spec = QuantSpec(k)
+        bound = spec.qmax * scale
+        inside = np.abs(x) <= bound
+        err = np.abs(dequantize(quantize(x, scale, spec), scale) - x)
+        assert np.all(err[inside] <= scale / 2 + 1e-9)
+
+
+class TestUnbroadcastProperties:
+    @given(
+        shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unbroadcast_inverts_broadcast(self, shape, data):
+        # For any original shape and a broadcast of it, unbroadcast returns
+        # the correct gradient shape and sums contributions.
+        original = np.ones(shape)
+        extra = data.draw(st.integers(min_value=1, max_value=4))
+        broadcast_shape = (extra,) + shape
+        grad = np.ones(broadcast_shape)
+        out = unbroadcast(grad, shape)
+        assert out.shape == shape
+        assert np.allclose(out, extra)
+
+
+class TestVariabilityProperties:
+    @given(
+        eps_b=st.floats(-0.5, 0.5, allow_nan=False),
+        sigma_w=st.floats(0.0, 0.5, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chip_epsilon_statistics(self, eps_b, sigma_w, seed):
+        chip = ChipVariation(eps_b, sigma_w, seed)
+        eps = chip.epsilon_for("layer", (4000,))
+        # Sample mean concentrates around eps_b (6-sigma bound).
+        tolerance = 6 * max(sigma_w, 1e-9) / np.sqrt(4000) + 1e-12
+        assert abs(eps.mean() - eps_b) <= tolerance
+        if sigma_w == 0.0:
+            assert np.allclose(eps, eps_b)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_gtm_estimate_error_bounded(self, seed):
+        from repro.selftuning import GlobalTuningModule
+
+        chip = ChipVariation(0.1, 0.2, seed)
+        gtm = GlobalTuningModule(num_cells=10_000)
+        # 6-sigma bound on the estimation error.
+        assert abs(gtm.estimate(chip) - 0.1) < 6 * 0.2 / np.sqrt(10_000)
+
+
+class TestTensorAlgebraProperties:
+    @given(x=finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_sum_matches_numpy(self, x):
+        assert np.allclose(Tensor(x).sum().data, x.sum())
+
+    @given(x=finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_relu_idempotent(self, x):
+        t = Tensor(x)
+        once = t.relu()
+        twice = once.relu()
+        assert np.array_equal(once.data, twice.data)
+
+    @given(x=finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_double_negation(self, x):
+        assert np.allclose((-(-Tensor(x))).data, x)

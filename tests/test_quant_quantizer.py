@@ -1,0 +1,83 @@
+"""Quantizer semantics (Eq. 3) and STE gradients (Eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.quant import QuantSpec, dequantize, fake_quantize, quantization_levels, quantize
+
+
+class TestQuantSpec:
+    def test_symmetric_range(self):
+        spec = QuantSpec(4)
+        assert spec.qmax == 7
+        assert spec.qmin == -7
+        assert spec.num_levels == 15
+
+    def test_ternary_weights(self):
+        # k=2 gives the ternary {-1, 0, +1} grid the paper uses for W2.
+        spec = QuantSpec(2)
+        assert spec.qmin == -1
+        assert spec.qmax == 1
+        assert spec.num_levels == 3
+
+    def test_rejects_one_bit(self):
+        with pytest.raises(ValueError):
+            QuantSpec(1)
+
+    def test_levels(self):
+        levels = quantization_levels(QuantSpec(2), 0.5)
+        assert np.allclose(levels, [-0.5, 0.0, 0.5])
+
+
+class TestQuantizeDequantize:
+    def test_rounding(self):
+        spec = QuantSpec(4)
+        codes = quantize(np.array([0.26, -0.26, 0.24]), 0.25, spec)
+        assert np.array_equal(codes, [1, -1, 1])
+
+    def test_clipping(self):
+        spec = QuantSpec(2)
+        codes = quantize(np.array([10.0, -10.0]), 0.5, spec)
+        assert np.array_equal(codes, [1, -1])
+
+    def test_round_trip_on_grid(self):
+        spec = QuantSpec(4)
+        values = quantization_levels(spec, 0.3)
+        assert np.allclose(dequantize(quantize(values, 0.3, spec), 0.3), values)
+
+    def test_error_bounded_by_half_lsb_inside_range(self, rng):
+        spec = QuantSpec(6)
+        scale = 0.1
+        x = rng.uniform(-spec.qmax * scale, spec.qmax * scale, size=1000)
+        err = np.abs(dequantize(quantize(x, scale, spec), scale) - x)
+        assert err.max() <= scale / 2 + 1e-12
+
+
+class TestFakeQuantize:
+    def test_forward_value(self):
+        spec = QuantSpec(4)
+        x = Tensor([0.26, 2.0], requires_grad=True)
+        out = fake_quantize(x, 0.25, spec)
+        assert np.allclose(out.data, [0.25, 1.75])  # 2.0 clips to 7*0.25
+
+    def test_identity_ste(self):
+        spec = QuantSpec(4)
+        x = Tensor([0.26, 100.0], requires_grad=True)
+        fake_quantize(x, 0.25, spec, clip_gradient=False).sum().backward()
+        assert np.allclose(x.grad, [1.0, 1.0])
+
+    def test_clipped_ste_masks_out_of_range(self):
+        spec = QuantSpec(4)
+        x = Tensor([0.26, 100.0], requires_grad=True)
+        fake_quantize(x, 0.25, spec, clip_gradient=True).sum().backward()
+        assert np.allclose(x.grad, [1.0, 0.0])
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            fake_quantize(Tensor([1.0]), 0.0, QuantSpec(4))
+
+    def test_preserves_shape(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        out = fake_quantize(x, 0.1, QuantSpec(8))
+        assert out.shape == (2, 3, 4)

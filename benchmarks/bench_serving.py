@@ -1,0 +1,138 @@
+"""Serving-engine benchmark: batched fleet throughput vs sequential.
+
+Not a paper table — this benchmarks the :mod:`repro.serve` subsystem on a
+LeNet-class workload (pool of 4 chips, batch 32) and enforces the two
+serving guarantees:
+
+* dynamic micro-batching beats sequential per-request inference by >= 3x
+  on the same workload and fleet;
+* a fixed seed reproduces identical per-request outputs across two runs.
+
+Run under pytest for the full benchmark harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q
+
+or directly for the fast smoke entrypoint (no pytest-benchmark timing,
+just the speedup/determinism checks and a throughput line)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import numpy as np
+
+if __name__ == "__main__":  # smoke entrypoint works without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+from repro.datasets.loaders import batch_iterator
+from repro.datasets.synthetic import synthetic_mnist
+from repro.models import build_model
+from repro.nn import init
+from repro.quant.calibration import calibrate_model
+from repro.quant.ptq import convert_to_quantized
+from repro.quant.qconfig import QConfig
+from repro.serve import InferenceEngine, ServeConfig
+from repro.variability.models import WeightProportionalVariance
+from repro.variability.sampler import VariabilitySpec
+
+NUM_CHIPS = 4
+MAX_BATCH = 32
+REQUESTS = 128
+
+
+def _serving_workload():
+    """A calibrated LeNet-class model + request stream (no training needed:
+    throughput does not depend on how good the weights are)."""
+    init.seed(0)
+    train, test = synthetic_mnist(train_per_class=16, test_per_class=8)
+    model = build_model("lenet5-mini")
+    convert_to_quantized(model, QConfig.from_notation("A4W2"))
+    calibrate_model(model, batch_iterator(train, 32, shuffle=False), max_batches=4)
+    model.eval()
+    spec = VariabilitySpec.mixed(0.3 / np.sqrt(2.0), WeightProportionalVariance())
+    workload = np.concatenate([test.images] * (1 + (REQUESTS - 1) // len(test)))[:REQUESTS]
+    ids = [f"r{i:05d}" for i in range(REQUESTS)]
+    return model, spec, workload, ids
+
+
+def _engine(model, spec, max_batch: int, max_wait: int, seed: int = 0):
+    engine = InferenceEngine(
+        model,
+        spec,
+        num_chips=NUM_CHIPS,
+        config=ServeConfig(max_batch=max_batch, max_wait=max_wait, seed=seed),
+    )
+    engine.warm_up()  # programming cost stays out of the serving measurement
+    return engine
+
+
+def _timed_run(engine, workload, ids) -> float:
+    started = time.perf_counter()
+    engine.run(workload, ids=ids)
+    return time.perf_counter() - started
+
+
+def test_batched_beats_sequential_3x():
+    """Acceptance: batched fleet throughput >= 3x sequential per-request."""
+    model, spec, workload, ids = _serving_workload()
+    sequential = _timed_run(_engine(model, spec, 1, 0), workload, ids)
+    batched = _timed_run(_engine(model, spec, MAX_BATCH, 4), workload, ids)
+    speedup = sequential / batched
+    print(f"\nsequential {REQUESTS / sequential:.0f} sps, "
+          f"batched {REQUESTS / batched:.0f} sps, speedup {speedup:.2f}x")
+    assert speedup >= 3.0, f"batched speedup {speedup:.2f}x below the 3x floor"
+
+
+def test_fixed_seed_reproduces_outputs():
+    """Acceptance: same seed + same requests => identical outputs, twice."""
+    model, spec, workload, ids = _serving_workload()
+    first = _engine(model, spec, MAX_BATCH, 4, seed=3).run(workload, ids=ids)
+    second = _engine(model, spec, MAX_BATCH, 4, seed=3).run(workload, ids=ids)
+    assert all(np.array_equal(first[rid], second[rid]) for rid in ids)
+
+
+def test_batched_engine_throughput(benchmark):
+    """Steady-state batched serving rate (pytest-benchmark timing)."""
+    model, spec, workload, ids = _serving_workload()
+    engine = _engine(model, spec, MAX_BATCH, 4)
+
+    def serve():
+        return engine.run(workload, ids=ids)
+
+    benchmark(serve)
+
+
+def test_sequential_engine_throughput(benchmark):
+    """The per-request baseline the batched path is measured against."""
+    model, spec, workload, ids = _serving_workload()
+    engine = _engine(model, spec, 1, 0)
+    benchmark(lambda: engine.run(workload, ids=ids))
+
+
+def main() -> int:
+    """Fast smoke entrypoint: speedup + determinism without pytest."""
+    model, spec, workload, ids = _serving_workload()
+    sequential = _timed_run(_engine(model, spec, 1, 0), workload, ids)
+    batched = _timed_run(_engine(model, spec, MAX_BATCH, 4), workload, ids)
+    speedup = sequential / batched
+    first = _engine(model, spec, MAX_BATCH, 4, seed=3).run(workload, ids=ids)
+    second = _engine(model, spec, MAX_BATCH, 4, seed=3).run(workload, ids=ids)
+    reproducible = all(np.array_equal(first[rid], second[rid]) for rid in ids)
+    print(f"fleet: {NUM_CHIPS} chips, {REQUESTS} requests, max_batch={MAX_BATCH}")
+    print(f"sequential: {REQUESTS / sequential:8.1f} samples/s")
+    print(f"batched:    {REQUESTS / batched:8.1f} samples/s   speedup {speedup:.2f}x")
+    print(f"fixed-seed reproducibility: {'ok' if reproducible else 'FAILED'}")
+    ok = speedup >= 3.0 and reproducible
+    print("smoke: " + ("PASS" if ok else "FAIL"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,7 +4,19 @@ Self-Tuning of Highly Quantized DNNs for Analog PIM" (DATE 2022).
 Top-level convenience re-exports; see DESIGN.md for the package map.
 """
 
-from repro import autograd, datasets, eval, models, nn, pim, quant, selftuning, training, variability
+from repro import (
+    autograd,
+    datasets,
+    eval,
+    models,
+    nn,
+    pim,
+    quant,
+    selftuning,
+    serve,
+    training,
+    variability,
+)
 from repro.quant import QConfig, calibrate_model, convert_to_quantized
 from repro.variability import (
     LayerFixedVariance,
@@ -17,6 +29,7 @@ from repro.training import QavatTrainer, train_ptq_vat, train_qat, train_qavat
 from repro.eval import evaluate_clean, evaluate_robustness
 from repro.nn import reestimate_bn_statistics
 from repro.variability import FaultSpec, evaluate_fault_robustness
+from repro.serve import InferenceEngine, ServeConfig
 
 __version__ = "1.0.0"
 
@@ -28,6 +41,7 @@ __all__ = [
     "variability",
     "pim",
     "selftuning",
+    "serve",
     "training",
     "eval",
     "datasets",
@@ -49,4 +63,6 @@ __all__ = [
     "reestimate_bn_statistics",
     "FaultSpec",
     "evaluate_fault_robustness",
+    "InferenceEngine",
+    "ServeConfig",
 ]

@@ -9,15 +9,20 @@ Examples::
         --notation A8W4 --sigma 0.3 --scenario mixed --self-tuning global
     python -m repro.experiments compare --model lenet5 --notation A2W2 \\
         --sigma 0.5 --scenario within
+    python -m repro.experiments serve-bench --model lenet5 --num-chips 4 \\
+        --max-batch 32 --policy least-loaded --skip-training
 
 ``run`` trains one method and prints the Monte Carlo robustness summary;
 ``compare`` runs QAVAT vs QAT vs PTQ-VAT on one configuration (one column
-of Table I).  Results are also appended as JSON under ``--results-dir``.
+of Table I); ``serve-bench`` drives a simulated chip fleet through the
+:mod:`repro.serve` engine and reports batched-vs-sequential throughput.
+Results are also appended as JSON under ``--results-dir``.
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 
 import numpy as np
 
@@ -28,8 +33,23 @@ from repro.experiments.store import ResultStore
 from repro.experiments.tables import format_table
 from repro.quant.qconfig import QConfig
 from repro.selftuning.tuner import SelfTuningConfig
+from repro.serve.scheduler import POLICIES as SERVE_POLICIES
 from repro.variability.models import variance_model_by_name
 from repro.variability.sampler import VariabilitySpec
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
+
+
+def _nonnegative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {number}")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,6 +110,52 @@ def build_parser() -> argparse.ArgumentParser:
             default=0.5,
             help="accuracy floor for the parametric-yield summary",
         )
+
+    serve = commands.add_parser(
+        "serve-bench",
+        help="benchmark batched fleet serving against sequential inference",
+    )
+    serve.add_argument("--model", choices=sorted(WORKLOADS), default="lenet5")
+    serve.add_argument("--notation", default="A4W2", help="AxWy bit widths")
+    serve.add_argument("--sigma", type=float, default=0.3, help="sigma_tot")
+    serve.add_argument("--scenario", choices=("within", "mixed"), default="mixed")
+    serve.add_argument(
+        "--variance-model",
+        choices=("weight-proportional", "layer-fixed"),
+        default="weight-proportional",
+    )
+    serve.add_argument("--scale", choices=sorted(EXPERIMENT_SCALES), default="tiny")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--skip-training",
+        action="store_true",
+        help="calibrate an untrained model (throughput-only runs, seconds not minutes)",
+    )
+    serve.add_argument(
+        "--self-tuning",
+        choices=("none", "global", "layer"),
+        default="none",
+        help="attach self-tuning to every programmed chip mapping",
+    )
+    serve.add_argument("--gtm-cells", type=int, default=1000)
+    serve.add_argument("--ltm-columns", type=int, default=1)
+    serve.add_argument("--num-chips", type=_positive_int, default=4)
+    serve.add_argument("--policy", choices=sorted(SERVE_POLICIES), default="round-robin")
+    serve.add_argument("--max-batch", type=_positive_int, default=32)
+    serve.add_argument(
+        "--max-wait", type=_nonnegative_int, default=4, help="batching deadline, ticks"
+    )
+    serve.add_argument("--requests", type=_positive_int, default=256)
+    serve.add_argument(
+        "--cache-capacity",
+        type=_positive_int,
+        default=None,
+        help="resident mappings bound (default: the whole fleet)",
+    )
+    serve.add_argument(
+        "--probe-k", type=_positive_int, default=1, help="top-k of the quality probe"
+    )
+    serve.add_argument("--results-dir", default="results")
     return parser
 
 
@@ -169,6 +235,7 @@ def _cmd_list() -> int:
     print("scales:    " + ", ".join(sorted(EXPERIMENT_SCALES)))
     print("scenarios: within (Sec. IV-A), mixed (Sec. IV-B)")
     print("variance:  weight-proportional, layer-fixed")
+    print("policies:  " + ", ".join(sorted(SERVE_POLICIES)) + " (serve-bench)")
     return 0
 
 
@@ -236,6 +303,117 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _serve_model(args):
+    """The calibrated quantized model + test set the fleet will serve."""
+    from repro.datasets.loaders import batch_iterator
+    from repro.experiments.configs import dataset_for, model_for
+    from repro.experiments.runner import train_method
+    from repro.quant.calibration import calibrate_model
+    from repro.quant.ptq import convert_to_quantized
+
+    model_name, workload = WORKLOADS[args.model]
+    scale = EXPERIMENT_SCALES[args.scale]
+    train_spec, eval_spec = _specs(args)
+    if args.skip_training:
+        train, test = dataset_for(workload, scale)
+        model = model_for(model_name, workload, scale, seed=1 + args.seed)
+        convert_to_quantized(model, QConfig.from_notation(args.notation))
+        calibrate_model(model, batch_iterator(train, scale.batch_size, shuffle=False),
+                        max_batches=4)
+    else:
+        model, test = train_method(
+            "qavat",
+            model_name,
+            workload,
+            QConfig.from_notation(args.notation),
+            train_spec,
+            scale,
+            MethodConfig(seed=args.seed),
+        )
+    model.eval()
+    return model, test, eval_spec
+
+
+def _cmd_serve_bench(args) -> int:
+    from repro.serve import InferenceEngine, ServeConfig
+
+    model, test, eval_spec = _serve_model(args)
+    workload = np.concatenate(
+        [test.images] * (1 + (args.requests - 1) // len(test))
+    )[: args.requests]
+    ids = [f"r{i:06d}" for i in range(args.requests)]
+
+    def serve(max_batch: int, max_wait: int):
+        config = ServeConfig(
+            max_batch=max_batch,
+            max_wait=max_wait,
+            policy=args.policy,
+            cache_capacity=args.cache_capacity,
+            seed=args.seed,
+            self_tuning=_self_tuning(args),
+        )
+        engine = InferenceEngine(model, eval_spec, args.num_chips, config)
+        engine.warm_up()  # program outside the timed region
+        if args.policy == "accuracy-weighted":
+            engine.probe_fleet(test, k=args.probe_k)
+        started = time.perf_counter()
+        outputs = engine.run(workload, ids=ids)
+        return engine, outputs, time.perf_counter() - started
+
+    sequential, seq_out, seq_seconds = serve(max_batch=1, max_wait=0)
+    batched, batch_out, batch_seconds = serve(args.max_batch, args.max_wait)
+    mismatched = sum(
+        not np.array_equal(seq_out[rid], batch_out[rid]) for rid in ids
+    )
+    speedup = seq_seconds / batch_seconds if batch_seconds > 0 else float("inf")
+    rows = [
+        ["sequential", args.requests, sequential.telemetry.batches,
+         f"{sequential.telemetry.batch_size.mean:.1f}",
+         f"{args.requests / seq_seconds:.1f}", "1.00"],
+        ["batched", args.requests, batched.telemetry.batches,
+         f"{batched.telemetry.batch_size.mean:.1f}",
+         f"{args.requests / batch_seconds:.1f}", f"{speedup:.2f}"],
+    ]
+    print(
+        format_table(
+            ["mode", "requests", "batches", "batch mean", "throughput sps", "speedup"],
+            rows,
+            title=(
+                f"serve-bench {args.model}/{args.notation} sigma={args.sigma} "
+                f"{args.scenario}, {args.num_chips} chips, policy={args.policy}"
+            ),
+        )
+    )
+    print("\nbatched engine telemetry:")
+    print(batched.telemetry.format())
+    print(f"mapping cache: {batched.cache.stats.as_dict()}")
+    if mismatched:
+        print(f"WARNING: {mismatched} requests differ between modes "
+              "(policies may route them to different chips)")
+    store = ResultStore(args.results_dir)
+    path = store.save(
+        f"serve-bench-{args.model}",
+        {
+            "model": args.model,
+            "notation": args.notation,
+            "sigma": args.sigma,
+            "scenario": args.scenario,
+            "policy": args.policy,
+            "num_chips": args.num_chips,
+            "max_batch": args.max_batch,
+            "max_wait": args.max_wait,
+            "requests": args.requests,
+            "sequential_seconds": seq_seconds,
+            "batched_seconds": batch_seconds,
+            "speedup": speedup,
+            "telemetry": batched.telemetry.report(),
+            "cache": batched.cache.stats.as_dict(),
+        },
+    )
+    print(f"\nsaved: {path}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -244,4 +422,6 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     return _cmd_compare(args)

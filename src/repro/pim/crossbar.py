@@ -8,6 +8,8 @@ conductances according to the paper's variance models.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.pim.converters import ADC, DAC
@@ -48,11 +50,26 @@ class CrossbarArray:
         self.device = device
         self.ir_drop = ir_drop
         self.fault_model = fault_model
-        self._rng = rng or np.random.default_rng(0)
+        # Lazily seeded from the array key when no generator is supplied, so
+        # every array in a fleet draws from its own reproducible stream and
+        # call sites never need to improvise a default.
+        self._rng = rng
         self._fault_map = None
         self.ideal = np.zeros((rows, cols))
         self.programmed = np.zeros((rows, cols))
         self.physical = np.zeros((rows, cols))
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """This array's random stream (device write/read noise, fault maps).
+
+        Created on first use when the constructor received ``rng=None``,
+        seeded from the array key — distinct tiles get distinct streams, and
+        rebuilding the same fleet reproduces the same draws bit-for-bit.
+        """
+        if self._rng is None:
+            self._rng = np.random.default_rng(zlib.crc32(self.key.encode()))
+        return self._rng
 
     def program(self, conductances: np.ndarray) -> None:
         """Write ideal conductances (shape must be (rows, cols)).
@@ -70,10 +87,10 @@ class CrossbarArray:
         self.ideal = conductances.copy()
         written = conductances.copy()
         if self.device is not None:
-            written = self.device.program(written, self._rng)
+            written = self.device.program(written, self.rng)
         if self.fault_model is not None:
             if self._fault_map is None:
-                self._fault_map = self.fault_model.sample_map(written.shape, self._rng)
+                self._fault_map = self.fault_model.sample_map(written.shape, self.rng)
             written = self.fault_model.apply(written, self._fault_map)
         self.programmed = written
         self.physical = written.copy()
@@ -103,6 +120,6 @@ class CrossbarArray:
         voltages = self.dac.convert(codes)
         conductances = self.effective_conductances()
         if self.device is not None and self.device.sigma_read > 0.0:
-            conductances = self.device.read(conductances, self._rng)
+            conductances = self.device.read(conductances, self.rng)
         currents = voltages @ conductances
         return self.adc.convert(currents)

@@ -1,0 +1,42 @@
+"""``repro.serve`` — batched multi-chip inference serving.
+
+Deployment-scale counterpart of the single-chip evaluation utilities: a
+pool of sampled chips (each with its own programmed, optionally
+self-tuned mapping), dynamic micro-batching of single-sample requests,
+pluggable fleet scheduling, an LRU mapping cache, and streaming
+telemetry.  See :class:`~repro.serve.engine.InferenceEngine` for the
+entry point and ``examples/serving_fleet.py`` for an end-to-end tour.
+"""
+
+from repro.serve.batcher import Batch, MicroBatcher, Request
+from repro.serve.cache import CacheStats, MappingCache, mapping_key
+from repro.serve.engine import FleetChip, InferenceEngine, ServeConfig, ServedRequest
+from repro.serve.scheduler import (
+    POLICIES,
+    AccuracyWeightedPolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
+from repro.serve.telemetry import ServeTelemetry
+
+__all__ = [
+    "InferenceEngine",
+    "ServeConfig",
+    "FleetChip",
+    "ServedRequest",
+    "Request",
+    "Batch",
+    "MicroBatcher",
+    "MappingCache",
+    "CacheStats",
+    "mapping_key",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "AccuracyWeightedPolicy",
+    "POLICIES",
+    "make_policy",
+    "ServeTelemetry",
+]

@@ -1,0 +1,116 @@
+"""Dynamic micro-batching of single-sample inference requests.
+
+Crossbar MVMs amortize beautifully over a batch dimension (one im2col, one
+GEMM per layer instead of N), so the serving hot path wants single-sample
+requests fused into batches.  The :class:`MicroBatcher` implements the
+classic dynamic policy: a batch is released as soon as ``max_batch``
+requests are pending, or once the oldest pending request has waited
+``max_wait`` ticks — trading a bounded latency hit for throughput.
+
+Determinism: within one release event the pending requests are ordered
+canonically by request id before batches are cut.  Arrival *order* inside a
+batching window therefore never changes batch composition — only arrival
+*ticks* do — which is what makes fleet serving reproducible (see
+``tests/test_serve_engine.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request: an id, a single input sample, an arrival tick."""
+
+    id: str
+    payload: np.ndarray
+    arrival: int = 0
+
+    def sort_key(self) -> tuple:
+        return (self.arrival, self.id)
+
+
+@dataclass
+class Batch:
+    """A group of requests fused into one batched forward pass."""
+
+    requests: list[Request]
+    formed: int
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def ids(self) -> list[str]:
+        return [request.id for request in self.requests]
+
+    def inputs(self) -> np.ndarray:
+        """Stacked payloads: shape (size, *sample_shape)."""
+        return np.stack([np.asarray(request.payload) for request in self.requests])
+
+    def max_queue_ticks(self) -> int:
+        """Worst queueing delay inside this batch (formed - earliest arrival)."""
+        return self.formed - min(request.arrival for request in self.requests)
+
+
+class MicroBatcher:
+    """Request queue with size- and deadline-triggered batch release.
+
+    ``max_batch`` caps the fused batch size; ``max_wait`` is the number of
+    ticks a request may sit in the queue before a partial batch is forced
+    out (``0`` releases every poll, i.e. no artificial batching delay).
+    """
+
+    def __init__(self, max_batch: int = 32, max_wait: int = 4) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._pending: list[Request] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> list[Request]:
+        return list(self._pending)
+
+    def submit(self, request: Request) -> None:
+        """Enqueue one request."""
+        self._pending.append(request)
+
+    def _cut(self, now: int) -> Batch:
+        # Canonical order: by (arrival tick, id).  Ids break intra-tick ties,
+        # so any permutation of same-tick submissions forms the same batches.
+        self._pending.sort(key=Request.sort_key)
+        batch = Batch(self._pending[: self.max_batch], formed=now)
+        del self._pending[: self.max_batch]
+        return batch
+
+    def poll(self, now: int) -> list[Batch]:
+        """Release every batch that is due at tick ``now``.
+
+        Full batches are always released; a partial batch is released only
+        when its oldest request has aged past ``max_wait``.
+        """
+        batches = []
+        while len(self._pending) >= self.max_batch:
+            batches.append(self._cut(now))
+        if self._pending and now - min(
+            request.arrival for request in self._pending
+        ) >= self.max_wait:
+            batches.append(self._cut(now))
+        return batches
+
+    def flush(self, now: int) -> list[Batch]:
+        """Force everything pending into batches (drain/shutdown path)."""
+        batches = []
+        while self._pending:
+            batches.append(self._cut(now))
+        return batches

@@ -1,0 +1,109 @@
+"""LRU cache for programmed crossbar mappings.
+
+Programming a chip is the expensive part of serving: the trained model is
+replicated, the chip's sampled variation is installed on every quantized
+layer, and (optionally) self-tuning modules are attached — the software
+analogue of writing conductances into every crossbar tile.  A naive server
+would redo that work per request; the cache does it once per
+``(model, qconfig, chip)`` and keeps the hottest mappings resident.
+
+The capacity bound models the realistic constraint that only a subset of a
+large fleet's mappings fits in the serving host's memory: requesting an
+evicted chip's mapping transparently reprograms it (a miss), which the
+stats surface so operators can size the cache against the fleet.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+
+def mapping_key(model_key: str, qconfig_notation: str, chip_id: str) -> tuple:
+    """Canonical cache key for one programmed mapping."""
+    return (str(model_key), str(qconfig_notation), str(chip_id))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one :class:`MappingCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    program_seconds: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "program_seconds": self.program_seconds,
+        }
+
+
+@dataclass
+class MappingCache:
+    """Least-recently-used store of programmed chip mappings.
+
+    ``capacity`` bounds the number of resident mappings (``None`` means
+    unbounded).  ``get_or_program`` is the only entry point the engine
+    needs: it returns the cached mapping or invokes ``program`` to build
+    it, evicting the least recently used entry when over capacity.
+    """
+
+    capacity: int | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {self.capacity}")
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def keys(self) -> list:
+        """Resident keys, least recently used first."""
+        return list(self._entries)
+
+    def get_or_program(self, key: Hashable, program: Callable[[], object]):
+        """Fetch the mapping for ``key``, programming (and caching) on miss."""
+        if key in self._entries:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.stats.misses += 1
+        import time
+
+        started = time.perf_counter()
+        mapping = program()
+        self.stats.program_seconds += time.perf_counter() - started
+        self._entries[key] = mapping
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return mapping
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one mapping (e.g. after recalibration); True if it was resident."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every resident mapping (stats are kept)."""
+        self._entries.clear()

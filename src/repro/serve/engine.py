@@ -1,0 +1,298 @@
+"""Batched multi-chip inference serving engine.
+
+The deployment reality of analog PIM (the paper's Sec. IV) is a *fleet* of
+non-identical accelerators: every fabricated chip carries its own sampled
+variation, and self-tuning corrects each one individually.  The
+:class:`InferenceEngine` simulates exactly that: it samples a pool of
+chips from a :class:`~repro.variability.sampler.VariabilitySpec`, programs
+a dedicated model mapping per chip (variation injected, self-tuning
+attached — cached in an LRU :class:`~repro.serve.cache.MappingCache`),
+fuses incoming single-sample requests into crossbar-friendly batches with
+a :class:`~repro.serve.batcher.MicroBatcher`, and dispatches the batches
+across the fleet under a pluggable
+:class:`~repro.serve.scheduler.SchedulingPolicy`.
+
+Everything is deterministic from ``ServeConfig.seed``: the same fleet,
+the same request ids, and the same arrival ticks reproduce bit-identical
+outputs — the per-row results are even invariant to batch composition,
+because the fake-quant forward treats batch rows independently.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.datasets.loaders import batch_iterator
+from repro.eval.metrics import topk_accuracy
+from repro.quant.ptq import quantized_layers
+from repro.selftuning.tuner import SelfTuningConfig
+from repro.selftuning.wrap import attach_self_tuning
+from repro.serve.batcher import Batch, MicroBatcher, Request
+from repro.serve.cache import MappingCache, mapping_key
+from repro.serve.scheduler import make_policy
+from repro.serve.telemetry import ServeTelemetry
+from repro.variability.injection import inject_variation
+from repro.variability.sampler import ChipVariation, VariabilitySampler, VariabilitySpec
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Engine knobs: batching, scheduling, cache sizing, self-tuning.
+
+    ``max_batch=1`` with ``max_wait=0`` degenerates to sequential
+    per-request serving — the baseline ``benchmarks/bench_serving.py``
+    measures against.  ``cache_capacity=None`` keeps every chip's mapping
+    resident (programmed exactly once); a smaller capacity models a host
+    that cannot hold the whole fleet and must reprogram on demand.
+    """
+
+    max_batch: int = 32
+    max_wait: int = 4
+    policy: str = "round-robin"
+    cache_capacity: int | None = None
+    seed: int = 0
+    self_tuning: SelfTuningConfig | None = None
+
+
+@dataclass
+class FleetChip:
+    """One pool member: a sampled chip plus its serving bookkeeping."""
+
+    index: int
+    chip_id: str
+    variation: ChipVariation
+    served_samples: int = 0
+    served_batches: int = 0
+    quality: float | None = None
+
+    def __repr__(self) -> str:
+        quality = f"{self.quality:.3f}" if self.quality is not None else "unprobed"
+        return (
+            f"FleetChip({self.chip_id}, served={self.served_samples}, "
+            f"quality={quality})"
+        )
+
+
+@dataclass
+class ServedRequest:
+    """Completed request: output logits plus serving provenance."""
+
+    id: str
+    output: np.ndarray
+    chip_id: str
+    queue_ticks: int
+
+
+class InferenceEngine:
+    """Serve a quantized model across a simulated fleet of PIM chips.
+
+    ``model`` must already be converted (:func:`repro.quant.convert_to_quantized`)
+    and calibrated (:func:`repro.quant.calibrate_model`); it is treated as
+    the golden digital copy and never mutated — per-chip mappings are
+    programmed onto deep copies.
+
+    Typical use::
+
+        engine = InferenceEngine(model, spec, num_chips=4,
+                                 config=ServeConfig(max_batch=32, policy="least-loaded"))
+        results = engine.run(test.images)          # {request id: logits row}
+
+    or streaming: ``submit`` requests as they arrive, call ``step`` per
+    tick, and collect :class:`ServedRequest` objects as they complete.
+    """
+
+    def __init__(
+        self,
+        model,
+        spec: VariabilitySpec,
+        num_chips: int = 4,
+        config: ServeConfig = ServeConfig(),
+        model_key: str | None = None,
+    ) -> None:
+        if num_chips < 1:
+            raise ValueError(f"num_chips must be >= 1, got {num_chips}")
+        self.model = model
+        self.spec = spec
+        self.config = config
+        self.model_key = model_key or model.__class__.__name__
+        self._notation = self._validate_model(model)
+        sampler = VariabilitySampler(spec, seed=config.seed)
+        width = max(2, len(str(num_chips - 1)))
+        self.fleet = [
+            FleetChip(i, f"chip{i:0{width}d}", sampler.sample_chip())
+            for i in range(num_chips)
+        ]
+        self.cache = MappingCache(capacity=config.cache_capacity)
+        self.batcher = MicroBatcher(config.max_batch, config.max_wait)
+        self.policy = make_policy(config.policy)
+        self.telemetry = ServeTelemetry(max_batch=config.max_batch)
+        self.now = 0
+        self._auto_id = 0
+        self._completed: dict[str, ServedRequest] = {}
+
+    # ------------------------------------------------------------------
+    # Fleet programming
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_model(model) -> str:
+        layers = [layer for _, layer in quantized_layers(model)]
+        if not layers:
+            raise ValueError(
+                "model has no quantized layers; run convert_to_quantized first"
+            )
+        for layer in layers:
+            if layer.qconfig.quantize_activations and float(layer.act_scale) == 0.0:
+                raise RuntimeError(
+                    "model is not calibrated; run calibrate_model before serving"
+                )
+        return layers[0].qconfig.notation
+
+    def _program(self, chip: FleetChip):
+        """Build the chip's mapping: replicate, inject variation, self-tune.
+
+        This is the expensive 'write the crossbars' step the mapping cache
+        amortizes; per-layer epsilon draws are cached inside the
+        :class:`ChipVariation`, so reprogramming after an eviction
+        reproduces the exact same physical chip.
+        """
+        mapping = copy.deepcopy(self.model)
+        mapping.eval()
+        inject_variation(mapping, chip.variation, self.spec)
+        if self.config.self_tuning is not None:
+            attach_self_tuning(mapping, self.config.self_tuning)
+        return mapping
+
+    def _mapping_for(self, chip: FleetChip):
+        key = mapping_key(self.model_key, self._notation, chip.chip_id)
+        return self.cache.get_or_program(key, lambda: self._program(chip))
+
+    def warm_up(self) -> None:
+        """Program every chip ahead of traffic (cold-start avoidance)."""
+        for chip in self.fleet:
+            self._mapping_for(chip)
+
+    def probe_fleet(
+        self, dataset, k: int = 1, batch_size: int = 64
+    ) -> dict[str, float]:
+        """Measure per-chip calibration quality on a labelled probe set.
+
+        Runs the probe set through each chip's mapping and stores top-``k``
+        accuracy on the chip handle — the signal the accuracy-weighted
+        scheduling policy uses.  Returns ``{chip_id: quality}``.
+        """
+        qualities = {}
+        with no_grad():
+            for chip in self.fleet:
+                mapping = self._mapping_for(chip)
+                logits, targets = [], []
+                for inputs, labels in batch_iterator(dataset, batch_size, shuffle=False):
+                    logits.append(mapping(Tensor(inputs)).data)
+                    targets.append(labels)
+                chip.quality = topk_accuracy(
+                    np.concatenate(logits), np.concatenate(targets), k=k
+                )
+                qualities[chip.chip_id] = chip.quality
+        return qualities
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, payload: np.ndarray, request_id: str | None = None) -> Request:
+        """Enqueue one single-sample request at the current tick."""
+        if request_id is None:
+            request_id = f"req{self._auto_id:06d}"
+            self._auto_id += 1
+        request = Request(str(request_id), np.asarray(payload), arrival=self.now)
+        self.batcher.submit(request)
+        return request
+
+    def _dispatch(self, batch: Batch) -> list[ServedRequest]:
+        chip = self.policy.choose(batch, self.fleet)
+        mapping = self._mapping_for(chip)
+        started = time.perf_counter()
+        with no_grad():
+            outputs = mapping(Tensor(batch.inputs())).data
+        seconds = time.perf_counter() - started
+        chip.served_samples += batch.size
+        chip.served_batches += 1
+        served = []
+        for row, request in enumerate(batch.requests):
+            done = ServedRequest(
+                id=request.id,
+                output=outputs[row],
+                chip_id=chip.chip_id,
+                queue_ticks=batch.formed - request.arrival,
+            )
+            self._completed[request.id] = done
+            served.append(done)
+        self.telemetry.record_batch(
+            chip.chip_id, [item.queue_ticks for item in served], seconds
+        )
+        return served
+
+    def step(self, ticks: int = 1) -> list[ServedRequest]:
+        """Advance the clock and dispatch every batch that becomes due."""
+        served = []
+        for _ in range(max(1, ticks)):
+            for batch in self.batcher.poll(self.now):
+                served.extend(self._dispatch(batch))
+            self.now += 1
+        return served
+
+    def drain(self) -> list[ServedRequest]:
+        """Step the clock until the queue is empty (deadlines run out)."""
+        served = []
+        while len(self.batcher):
+            served.extend(self.step())
+        return served
+
+    def flush(self) -> list[ServedRequest]:
+        """Dispatch everything pending immediately (shutdown path)."""
+        served = []
+        for batch in self.batcher.flush(self.now):
+            served.extend(self._dispatch(batch))
+        return served
+
+    def run(self, inputs, ids=None) -> dict[str, np.ndarray]:
+        """Convenience: submit ``inputs`` now, drain, return ``{id: logits}``.
+
+        ``ids`` defaults to auto-assigned sequential ids; pass explicit ids
+        to make results arrival-order-invariant (the canonical batching
+        order is by id within a tick — see :mod:`repro.serve.batcher`).
+        """
+        inputs = np.asarray(inputs)
+        if ids is None:
+            requests = [self.submit(sample) for sample in inputs]
+        else:
+            if len(ids) != len(inputs):
+                raise ValueError("ids and inputs length mismatch")
+            if len(set(ids)) != len(ids):
+                raise ValueError("ids must be unique; duplicates would overwrite results")
+            requests = [
+                self.submit(sample, request_id) for sample, request_id in zip(inputs, ids)
+            ]
+        self.drain()
+        return {request.id: self._completed[request.id].output for request in requests}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> dict[str, ServedRequest]:
+        """Every completed request so far, keyed by request id."""
+        return dict(self._completed)
+
+    def assignments(self) -> dict[str, str]:
+        """``{request id: chip id}`` for every completed request."""
+        return {rid: done.chip_id for rid, done in self._completed.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"InferenceEngine(model={self.model_key}, chips={len(self.fleet)}, "
+            f"policy={self.policy.name!r}, max_batch={self.config.max_batch})"
+        )

@@ -1,0 +1,98 @@
+"""Fleet scheduling policies: which chip serves the next batch.
+
+Every policy is deterministic — given the same batch sequence and the same
+fleet it makes the same choices — which keeps end-to-end serving
+reproducible from a single seed.  Policies see lightweight
+:class:`~repro.serve.engine.FleetChip` handles (counters + calibration
+quality), never the programmed mappings themselves.
+
+* ``round-robin`` — cycle through the pool regardless of state;
+* ``least-loaded`` — send the batch to the chip that has served the
+  fewest samples so far (balances heterogeneous batch sizes);
+* ``accuracy-weighted`` — weighted fair queueing on each chip's measured
+  calibration quality (see ``InferenceEngine.probe_fleet``), so better
+  chips serve proportionally more traffic without starving the rest.
+"""
+
+from __future__ import annotations
+
+
+class SchedulingPolicy:
+    """Interface: pick one chip from the pool for a released batch."""
+
+    name = "base"
+
+    def choose(self, batch, chips):
+        """Return the chip that should serve ``batch``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget any internal dispatch state (new serving session)."""
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Cycle through the pool in chip-index order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, batch, chips):
+        chip = chips[self._cursor % len(chips)]
+        self._cursor += 1
+        return chip
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+
+class LeastLoadedPolicy(SchedulingPolicy):
+    """Pick the chip with the fewest served samples (ties: lowest index)."""
+
+    name = "least-loaded"
+
+    def choose(self, batch, chips):
+        return min(chips, key=lambda chip: (chip.served_samples, chip.index))
+
+
+class AccuracyWeightedPolicy(SchedulingPolicy):
+    """Serve traffic proportionally to per-chip calibration quality.
+
+    Deterministic weighted fair queueing: choose the chip maximizing
+    ``quality / (served_samples + 1)``, i.e. the chip furthest behind its
+    quality-proportional share.  Chips without a measured quality fall back
+    to weight 1.0 (uniform); a fleet that was never probed therefore
+    degrades to least-loaded behavior rather than failing.
+    """
+
+    name = "accuracy-weighted"
+
+    def __init__(self, floor: float = 1e-3) -> None:
+        # A floor keeps pathologically bad chips schedulable (weight > 0),
+        # mirroring the engine's promise that no request is ever dropped.
+        self.floor = float(floor)
+
+    def _weight(self, chip) -> float:
+        quality = chip.quality if chip.quality is not None else 1.0
+        return max(float(quality), self.floor)
+
+    def choose(self, batch, chips):
+        return max(
+            chips,
+            key=lambda chip: (self._weight(chip) / (chip.served_samples + 1), -chip.index),
+        )
+
+
+POLICIES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    AccuracyWeightedPolicy.name: AccuracyWeightedPolicy,
+}
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a policy by registry name."""
+    if name not in POLICIES:
+        raise KeyError(f"unknown policy {name!r}; available: {sorted(POLICIES)}")
+    return POLICIES[name]()

@@ -1,0 +1,103 @@
+"""Streaming serving telemetry: latency, throughput, occupancy.
+
+Built on :class:`repro.eval.metrics.AverageMeter`, which tracks mean /
+min / max / std without storing samples, so the counters stay O(1) no
+matter how much traffic flows through the engine.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.eval.metrics import AverageMeter
+
+
+class ServeTelemetry:
+    """Counters the :class:`~repro.serve.engine.InferenceEngine` maintains.
+
+    * ``queue_ticks`` — per-request queueing delay in scheduler ticks
+      (batching latency; the cost of waiting for a fuller batch);
+    * ``service_seconds`` — wall-clock seconds per batched forward pass;
+    * ``batch_size`` / ``occupancy`` — how full released batches are
+      relative to ``max_batch``;
+    * ``per_chip_samples`` — samples served by each chip (load balance).
+    """
+
+    def __init__(self, max_batch: int = 1) -> None:
+        self.max_batch = max(1, int(max_batch))
+        self.queue_ticks = AverageMeter()
+        self.service_seconds = AverageMeter()
+        self.batch_size = AverageMeter()
+        self.occupancy = AverageMeter()
+        self.requests = 0
+        self.batches = 0
+        self.per_chip_samples: dict[str, int] = defaultdict(int)
+
+    def record_batch(self, chip_id: str, queue_ticks, seconds: float) -> None:
+        """Account one dispatched batch.
+
+        ``queue_ticks`` is the per-request queueing delay of every request
+        fused into the batch, so the latency meter sees true tails rather
+        than batch averages.
+        """
+        size = len(queue_ticks)
+        self.requests += size
+        self.batches += 1
+        self.per_chip_samples[chip_id] += size
+        self.batch_size.update(size)
+        self.occupancy.update(size / self.max_batch)
+        for ticks in queue_ticks:
+            self.queue_ticks.update(ticks)
+        self.service_seconds.update(seconds)
+
+    @property
+    def total_service_seconds(self) -> float:
+        return self.service_seconds.total
+
+    @property
+    def throughput(self) -> float:
+        """Samples per second of service time (excludes queueing ticks)."""
+        seconds = self.total_service_seconds
+        return self.requests / seconds if seconds > 0.0 else 0.0
+
+    def report(self) -> dict:
+        """Plain-dict snapshot (JSON-friendly, used by the CLI result store)."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "throughput_sps": self.throughput,
+            "service_seconds": self.total_service_seconds,
+            "batch_size_mean": self.batch_size.mean,
+            "occupancy_mean": self.occupancy.mean,
+            "queue_ticks": {
+                "mean": self.queue_ticks.mean,
+                "min": self.queue_ticks.min,
+                "max": self.queue_ticks.max,
+                "std": self.queue_ticks.std,
+            },
+            "service_seconds_per_batch": {
+                "mean": self.service_seconds.mean,
+                "min": self.service_seconds.min,
+                "max": self.service_seconds.max,
+                "std": self.service_seconds.std,
+            },
+            "per_chip_samples": dict(self.per_chip_samples),
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"requests: {self.requests}  batches: {self.batches}  "
+            f"throughput: {self.throughput:.1f} samples/s",
+            f"batch size: mean {self.batch_size.mean:.2f}  "
+            f"occupancy: {100 * self.occupancy.mean:.0f}%",
+            f"queue ticks: mean {self.queue_ticks.mean:.2f}  "
+            f"max {self.queue_ticks.max:.0f}  std {self.queue_ticks.std:.2f}",
+            f"service ms/batch: mean {1e3 * self.service_seconds.mean:.2f}  "
+            f"max {1e3 * self.service_seconds.max:.2f}",
+            "chip load: "
+            + "  ".join(
+                f"{chip}={count}" for chip, count in sorted(self.per_chip_samples.items())
+            ),
+        ]
+        return "\n".join(lines)

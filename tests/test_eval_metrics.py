@@ -1,0 +1,95 @@
+"""Tests for eval metrics: top-k accuracy and the extended AverageMeter."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import AverageMeter, top1_accuracy, topk_accuracy
+
+
+class TestTopkAccuracy:
+    def test_k1_matches_top1(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(40, 7))
+        targets = rng.integers(0, 7, size=40)
+        assert topk_accuracy(logits, targets, k=1) == top1_accuracy(logits, targets)
+
+    def test_k_widens_monotonically(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(60, 10))
+        targets = rng.integers(0, 10, size=60)
+        accs = [topk_accuracy(logits, targets, k=k) for k in (1, 3, 5, 10)]
+        assert accs == sorted(accs)
+        assert accs[-1] == 1.0  # k == num_classes catches everything
+
+    def test_exact_membership(self):
+        logits = np.array([[0.1, 0.9, 0.5], [0.9, 0.1, 0.5]])
+        targets = np.array([2, 2])
+        assert topk_accuracy(logits, targets, k=1) == 0.0
+        assert topk_accuracy(logits, targets, k=2) == 1.0
+
+    def test_k_clamped_beyond_classes(self):
+        logits = np.array([[0.2, 0.8]])
+        assert topk_accuracy(logits, np.array([0]), k=99) == 1.0
+
+    def test_single_row_input(self):
+        assert topk_accuracy(np.array([0.1, 0.9]), np.array([1]), k=1) == 1.0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            topk_accuracy(np.zeros((2, 3)), np.zeros(2, dtype=int), k=0)
+
+
+class TestAverageMeterTails:
+    def test_mean_unchanged_semantics(self):
+        meter = AverageMeter()
+        meter.update(1.0)
+        meter.update(3.0)
+        assert meter.mean == 2.0
+        assert meter.total == 4.0
+        assert meter.count == 2
+
+    def test_weighted_mean(self):
+        meter = AverageMeter()
+        meter.update(1.0, weight=3)
+        meter.update(5.0, weight=1)
+        assert meter.mean == 2.0
+
+    def test_min_max_track_extremes(self):
+        meter = AverageMeter()
+        for value in (4.0, -2.0, 10.0, 3.0):
+            meter.update(value)
+        assert meter.min == -2.0
+        assert meter.max == 10.0
+
+    def test_std_matches_numpy(self):
+        values = [1.0, 2.0, 5.0, 9.0, 2.5]
+        meter = AverageMeter()
+        for value in values:
+            meter.update(value)
+        assert meter.std == pytest.approx(np.std(values))
+
+    def test_weighted_std(self):
+        meter = AverageMeter()
+        meter.update(1.0, weight=2)
+        meter.update(4.0, weight=1)
+        expected = np.std([1.0, 1.0, 4.0])
+        assert meter.std == pytest.approx(expected)
+
+    def test_empty_meter_defaults(self):
+        meter = AverageMeter()
+        assert meter.mean == 0.0
+        assert meter.min == 0.0
+        assert meter.max == 0.0
+        assert meter.std == 0.0
+
+    def test_constant_stream_has_zero_std(self):
+        meter = AverageMeter()
+        for _ in range(5):
+            meter.update(3.3)
+        assert meter.std == pytest.approx(0.0, abs=1e-12)
+
+    def test_repr_mentions_tails(self):
+        meter = AverageMeter()
+        meter.update(2.0)
+        text = repr(meter)
+        assert "min" in text and "max" in text and "std" in text

@@ -84,6 +84,31 @@ class TestParser:
         assert args.sigmas == [0.1, 0.2]
         assert args.method == "qavat"
 
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.command == "serve-bench"
+        assert args.num_chips == 4
+        assert args.max_batch == 32
+        assert args.policy == "round-robin"
+        assert args.cache_capacity is None
+        assert not args.skip_training
+
+    def test_serve_bench_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--policy", "chaos"])
+
+    def test_serve_bench_rejects_bad_counts_at_parse_time(self):
+        for flags in (
+            ["--requests", "0"],
+            ["--num-chips", "0"],
+            ["--max-batch", "-3"],
+            ["--max-wait", "-1"],
+            ["--cache-capacity", "0"],
+            ["--probe-k", "0"],
+        ):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["serve-bench", *flags])
+
 
 class TestCliEndToEnd:
     def test_list_exit_code(self, capsys):
@@ -112,6 +137,26 @@ class TestCliEndToEnd:
         assert record["notation"] == "A4W2"
         assert 0.0 <= record["summary"]["mean"] <= 1.0
         assert len(record["accuracies"]) > 0
+
+    def test_serve_bench_skip_training(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--skip-training",
+                "--requests", "48",
+                "--max-batch", "16",
+                "--num-chips", "2",
+                "--results-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "batched" in out
+        record = ResultStore(str(tmp_path)).load("serve-bench-lenet5")
+        assert record["requests"] == 48
+        assert record["speedup"] > 0
+        assert record["telemetry"]["requests"] == 48
+        assert record["cache"]["misses"] >= 2
 
     @pytest.mark.slow
     def test_run_with_self_tuning(self, tmp_path, capsys):

@@ -1,0 +1,93 @@
+"""Tests for the dynamic micro-batcher."""
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import Batch, MicroBatcher, Request
+
+
+def _request(rid, arrival=0, value=0.0):
+    return Request(str(rid), np.full((3,), float(value)), arrival=arrival)
+
+
+class TestRelease:
+    def test_full_batch_released_immediately(self):
+        batcher = MicroBatcher(max_batch=4, max_wait=10)
+        for i in range(4):
+            batcher.submit(_request(i))
+        batches = batcher.poll(now=0)
+        assert len(batches) == 1
+        assert batches[0].size == 4
+        assert len(batcher) == 0
+
+    def test_partial_batch_waits_for_deadline(self):
+        batcher = MicroBatcher(max_batch=4, max_wait=3)
+        batcher.submit(_request("a", arrival=0))
+        assert batcher.poll(now=0) == []
+        assert batcher.poll(now=2) == []
+        batches = batcher.poll(now=3)
+        assert len(batches) == 1
+        assert batches[0].ids == ["a"]
+
+    def test_zero_wait_releases_every_poll(self):
+        batcher = MicroBatcher(max_batch=8, max_wait=0)
+        batcher.submit(_request("a"))
+        assert len(batcher.poll(now=0)) == 1
+
+    def test_overflow_cut_into_multiple_batches(self):
+        batcher = MicroBatcher(max_batch=4, max_wait=0)
+        for i in range(10):
+            batcher.submit(_request(i))
+        batches = batcher.poll(now=0)
+        assert [batch.size for batch in batches] == [4, 4, 2]
+
+    def test_flush_forces_everything_out(self):
+        batcher = MicroBatcher(max_batch=4, max_wait=100)
+        for i in range(6):
+            batcher.submit(_request(i))
+        batches = batcher.flush(now=0)
+        assert [batch.size for batch in batches] == [4, 2]
+        assert len(batcher) == 0
+
+
+class TestCanonicalOrder:
+    def test_same_tick_submissions_are_order_invariant(self):
+        """Any permutation of same-tick arrivals forms identical batches."""
+        ids = [f"r{i}" for i in range(9)]
+        forward, backward = MicroBatcher(4, 0), MicroBatcher(4, 0)
+        for rid in ids:
+            forward.submit(_request(rid))
+        for rid in reversed(ids):
+            backward.submit(_request(rid))
+        cuts_f = [batch.ids for batch in forward.poll(now=0)]
+        cuts_b = [batch.ids for batch in backward.poll(now=0)]
+        assert cuts_f == cuts_b
+
+    def test_earlier_arrivals_batch_first(self):
+        batcher = MicroBatcher(max_batch=2, max_wait=0)
+        batcher.submit(_request("late", arrival=5))
+        batcher.submit(_request("early", arrival=1))
+        (batch,) = batcher.poll(now=5)
+        assert batch.ids == ["early", "late"]
+
+
+class TestBatch:
+    def test_inputs_stacks_payloads(self):
+        batch = Batch([_request("a", value=1.0), _request("b", value=2.0)], formed=0)
+        stacked = batch.inputs()
+        assert stacked.shape == (2, 3)
+        assert np.array_equal(stacked[0], np.full(3, 1.0))
+
+    def test_queue_ticks(self):
+        batch = Batch([_request("a", arrival=2), _request("b", arrival=5)], formed=7)
+        assert batch.max_queue_ticks() == 5
+
+
+class TestValidation:
+    def test_bad_max_batch_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=1, max_wait=-1)

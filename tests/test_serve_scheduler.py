@@ -1,0 +1,106 @@
+"""Tests for the fleet scheduling policies."""
+
+import pytest
+
+from repro.serve.engine import FleetChip
+from repro.serve.scheduler import (
+    POLICIES,
+    AccuracyWeightedPolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.variability.sampler import ChipVariation
+
+
+def _fleet(count=4, qualities=None):
+    chips = [
+        FleetChip(i, f"chip{i:02d}", ChipVariation(0.0, 0.0, seed=i))
+        for i in range(count)
+    ]
+    if qualities is not None:
+        for chip, quality in zip(chips, qualities):
+            chip.quality = quality
+    return chips
+
+
+def _serve(policy, chips, batches, batch_size=8):
+    """Dispatch ``batches`` equal batches, mirroring the engine's accounting."""
+    trace = []
+    for _ in range(batches):
+        chip = policy.choose(None, chips)
+        chip.served_samples += batch_size
+        chip.served_batches += 1
+        trace.append(chip.chip_id)
+    return trace
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(POLICIES) == {"round-robin", "least-loaded", "accuracy-weighted"}
+
+    def test_make_policy(self):
+        assert isinstance(make_policy("round-robin"), RoundRobinPolicy)
+        assert isinstance(make_policy("least-loaded"), LeastLoadedPolicy)
+        assert isinstance(make_policy("accuracy-weighted"), AccuracyWeightedPolicy)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KeyError):
+            make_policy("fortune-teller")
+
+
+class TestRoundRobin:
+    def test_cycles_in_index_order(self):
+        chips = _fleet(3)
+        trace = _serve(RoundRobinPolicy(), chips, 7)
+        assert trace == ["chip00", "chip01", "chip02"] * 2 + ["chip00"]
+
+    def test_reset_restarts_cycle(self):
+        policy, chips = RoundRobinPolicy(), _fleet(3)
+        policy.choose(None, chips)
+        policy.reset()
+        assert policy.choose(None, chips).chip_id == "chip00"
+
+
+class TestLeastLoaded:
+    def test_balances_served_samples(self):
+        chips = _fleet(4)
+        _serve(LeastLoadedPolicy(), chips, 12)
+        assert {chip.served_samples for chip in chips} == {24}
+
+    def test_prefers_lagging_chip(self):
+        chips = _fleet(3)
+        chips[0].served_samples = 100
+        chips[2].served_samples = 100
+        assert LeastLoadedPolicy().choose(None, chips).chip_id == "chip01"
+
+    def test_tie_breaks_by_index(self):
+        assert LeastLoadedPolicy().choose(None, _fleet(3)).chip_id == "chip00"
+
+
+class TestAccuracyWeighted:
+    def test_traffic_proportional_to_quality(self):
+        chips = _fleet(2, qualities=[0.9, 0.3])
+        _serve(AccuracyWeightedPolicy(), chips, 40, batch_size=1)
+        ratio = chips[0].served_samples / chips[1].served_samples
+        assert 2.0 <= ratio <= 4.0  # ~3x quality => ~3x traffic
+
+    def test_no_chip_starves(self):
+        chips = _fleet(3, qualities=[0.99, 0.5, 0.01])
+        _serve(AccuracyWeightedPolicy(), chips, 200, batch_size=1)
+        assert all(chip.served_samples > 0 for chip in chips)
+
+    def test_unprobed_fleet_degrades_to_balance(self):
+        chips = _fleet(4)  # quality=None on every chip
+        _serve(AccuracyWeightedPolicy(), chips, 16, batch_size=1)
+        assert {chip.served_samples for chip in chips} == {4}
+
+    def test_deterministic_trace(self):
+        first = _serve(AccuracyWeightedPolicy(), _fleet(3, [0.7, 0.5, 0.6]), 20)
+        second = _serve(AccuracyWeightedPolicy(), _fleet(3, [0.7, 0.5, 0.6]), 20)
+        assert first == second
+
+    def test_zero_quality_uses_floor(self):
+        chips = _fleet(2, qualities=[0.0, 0.0])
+        trace = _serve(AccuracyWeightedPolicy(), chips, 4, batch_size=1)
+        assert trace == ["chip00", "chip01", "chip00", "chip01"]

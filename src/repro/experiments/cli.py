@@ -11,12 +11,20 @@ Examples::
         --sigma 0.5 --scenario within
     python -m repro.experiments serve-bench --model lenet5 --num-chips 4 \\
         --max-batch 32 --policy least-loaded --skip-training
+    python -m repro.experiments serve-bench --drift --policy accuracy-weighted \\
+        --fleet rram:2,flash:2 --trace bursty --skip-training
+    python -m repro.experiments lifetime-bench --fleet rram:2,flash:2 \\
+        --requests 192 --skip-training
 
 ``run`` trains one method and prints the Monte Carlo robustness summary;
 ``compare`` runs QAVAT vs QAT vs PTQ-VAT on one configuration (one column
 of Table I); ``serve-bench`` drives a simulated chip fleet through the
-:mod:`repro.serve` engine and reports batched-vs-sequential throughput.
-Results are also appended as JSON under ``--results-dir``.
+:mod:`repro.serve` engine and reports batched-vs-sequential throughput —
+with ``--drift`` the fleet ages under a drift process and the chosen
+policy is raced against round-robin on end-of-trace accuracy;
+``lifetime-bench`` runs the full lifecycle story (drift, probes,
+recalibrations) across several policies and prints the drift/recovery
+curves.  Results are also appended as JSON under ``--results-dir``.
 """
 
 from __future__ import annotations
@@ -111,51 +119,109 @@ def build_parser() -> argparse.ArgumentParser:
             help="accuracy floor for the parametric-yield summary",
         )
 
+    def add_serving_args(sub, default_policy: str) -> None:
+        sub.add_argument("--model", choices=sorted(WORKLOADS), default="lenet5")
+        sub.add_argument("--notation", default="A4W2", help="AxWy bit widths")
+        sub.add_argument("--sigma", type=float, default=0.3, help="sigma_tot")
+        sub.add_argument("--scenario", choices=("within", "mixed"), default="mixed")
+        sub.add_argument(
+            "--variance-model",
+            choices=("weight-proportional", "layer-fixed"),
+            default="weight-proportional",
+        )
+        sub.add_argument("--scale", choices=sorted(EXPERIMENT_SCALES), default="tiny")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--skip-training",
+            action="store_true",
+            help="calibrate an untrained model (throughput-only runs, seconds not minutes)",
+        )
+        sub.add_argument(
+            "--self-tuning",
+            choices=("none", "global", "layer"),
+            default="none",
+            help="attach self-tuning to every programmed chip mapping",
+        )
+        sub.add_argument("--gtm-cells", type=int, default=1000)
+        sub.add_argument("--ltm-columns", type=int, default=1)
+        sub.add_argument("--num-chips", type=_positive_int, default=4)
+        sub.add_argument(
+            "--policy", choices=sorted(SERVE_POLICIES), default=default_policy
+        )
+        sub.add_argument("--max-batch", type=_positive_int, default=32)
+        sub.add_argument(
+            "--max-wait", type=_nonnegative_int, default=4,
+            help="batching deadline, ticks",
+        )
+        sub.add_argument("--requests", type=_positive_int, default=256)
+        sub.add_argument(
+            "--cache-capacity",
+            type=_positive_int,
+            default=None,
+            help="resident mappings bound (default: the whole fleet)",
+        )
+        sub.add_argument(
+            "--probe-k", type=_positive_int, default=1, help="top-k of the quality probe"
+        )
+        sub.add_argument(
+            "--fleet",
+            default=None,
+            help="mixed-technology fleet, e.g. 'rram:2,flash:2' "
+            "(overrides --num-chips/--sigma/--variance-model)",
+        )
+        sub.add_argument(
+            "--trace",
+            choices=("uniform", "poisson", "bursty"),
+            default=None,
+            help="arrival trace feeding the micro-batcher (default: all at tick 0)",
+        )
+        sub.add_argument(
+            "--trace-rate", type=float, default=8.0, help="mean arrivals per tick"
+        )
+        sub.add_argument(
+            "--drift-kind", choices=("aging", "temperature"), default="aging"
+        )
+        sub.add_argument(
+            "--drift-nu", type=float, default=0.1, help="aging drift coefficient"
+        )
+        sub.add_argument(
+            "--probe-every", type=float, default=8.0,
+            help="virtual time between quality probes",
+        )
+        sub.add_argument(
+            "--accuracy-floor", type=float, default=0.85,
+            help="recalibrate when quality falls below floor x t=0 quality",
+        )
+        sub.add_argument(
+            "--dt", type=float, default=1.0, help="virtual drift time per tick"
+        )
+        sub.add_argument("--results-dir", default="results")
+
     serve = commands.add_parser(
         "serve-bench",
         help="benchmark batched fleet serving against sequential inference",
     )
-    serve.add_argument("--model", choices=sorted(WORKLOADS), default="lenet5")
-    serve.add_argument("--notation", default="A4W2", help="AxWy bit widths")
-    serve.add_argument("--sigma", type=float, default=0.3, help="sigma_tot")
-    serve.add_argument("--scenario", choices=("within", "mixed"), default="mixed")
+    add_serving_args(serve, default_policy="round-robin")
     serve.add_argument(
-        "--variance-model",
-        choices=("weight-proportional", "layer-fixed"),
-        default="weight-proportional",
-    )
-    serve.add_argument("--scale", choices=sorted(EXPERIMENT_SCALES), default="tiny")
-    serve.add_argument("--seed", type=int, default=0)
-    serve.add_argument(
-        "--skip-training",
+        "--drift",
         action="store_true",
-        help="calibrate an untrained model (throughput-only runs, seconds not minutes)",
+        help="age the fleet while it serves; race --policy against round-robin "
+        "on end-of-trace accuracy (implies --fleet rram:2,flash:2 and "
+        "--trace uniform unless given)",
     )
-    serve.add_argument(
-        "--self-tuning",
-        choices=("none", "global", "layer"),
-        default="none",
-        help="attach self-tuning to every programmed chip mapping",
+
+    lifetime = commands.add_parser(
+        "lifetime-bench",
+        help="drift/probe/recalibrate lifecycle across scheduling policies",
     )
-    serve.add_argument("--gtm-cells", type=int, default=1000)
-    serve.add_argument("--ltm-columns", type=int, default=1)
-    serve.add_argument("--num-chips", type=_positive_int, default=4)
-    serve.add_argument("--policy", choices=sorted(SERVE_POLICIES), default="round-robin")
-    serve.add_argument("--max-batch", type=_positive_int, default=32)
-    serve.add_argument(
-        "--max-wait", type=_nonnegative_int, default=4, help="batching deadline, ticks"
+    add_serving_args(lifetime, default_policy="drift-aware")
+    lifetime.add_argument(
+        "--policies",
+        nargs="+",
+        choices=sorted(SERVE_POLICIES),
+        default=["round-robin", "accuracy-weighted", "drift-aware"],
+        help="policies to race over the same drifting fleet",
     )
-    serve.add_argument("--requests", type=_positive_int, default=256)
-    serve.add_argument(
-        "--cache-capacity",
-        type=_positive_int,
-        default=None,
-        help="resident mappings bound (default: the whole fleet)",
-    )
-    serve.add_argument(
-        "--probe-k", type=_positive_int, default=1, help="top-k of the quality probe"
-    )
-    serve.add_argument("--results-dir", default="results")
     return parser
 
 
@@ -334,14 +400,241 @@ def _serve_model(args):
     return model, test, eval_spec
 
 
+def _fleet_spec(args, require: bool = False):
+    """The mixed-technology fleet spec, or None for a homogeneous fleet."""
+    from repro.serve import FleetSpec
+
+    text = args.fleet
+    if text is None and require:
+        text = "rram:2,flash:2"
+    if text is None:
+        return None
+    try:
+        return FleetSpec.parse(text, scenario=args.scenario)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(
+            f"error: invalid --fleet {text!r}: {error} "
+            "(expected e.g. 'rram:2,flash:2' or 'rram:4@0.5')"
+        ) from None
+
+
+def _cli_trace(args, default: str = "uniform"):
+    from repro.serve import BurstyTrace, PoissonTrace, UniformTrace
+
+    name = args.trace or default
+    rate = args.trace_rate
+    if name == "uniform":
+        return UniformTrace(rate=rate)
+    if name == "poisson":
+        return PoissonTrace(rate=rate, seed=args.seed)
+    # Same mean rate as the others: hot quarter at 4x, quiet rest near zero.
+    return BurstyTrace(
+        rate=rate / 16.0, burst_rate=4.0 * rate, period=16, duty=0.25, seed=args.seed
+    )
+
+
+def _lifecycle_config(args):
+    from repro.serve import LifecycleConfig
+
+    return LifecycleConfig(
+        drift=args.drift_kind,
+        nu=args.drift_nu,
+        dt=args.dt,
+        probe_every=args.probe_every,
+        probe_k=args.probe_k,
+        accuracy_floor=args.accuracy_floor,
+        seed=args.seed,
+    )
+
+
+def _serving_workload(args, test):
+    reps = 1 + (args.requests - 1) // len(test)
+    workload = np.concatenate([test.images] * reps)[: args.requests]
+    labels = np.concatenate([test.labels] * reps)[: args.requests]
+    ids = [f"r{i:06d}" for i in range(args.requests)]
+    return workload, labels, ids
+
+
+def _drift_serving_run(model, test, eval_spec, args, policy: str) -> dict:
+    """One drifting serving session under ``policy``; returns run artifacts.
+
+    Every run shares the engine/lifecycle seeds, so the fleet, the drift
+    paths, and the probe/recalibration schedule are identical across
+    policies — only dispatch (and therefore served accuracy) differs.
+    """
+    from repro.serve import ChipLifecycle, InferenceEngine, ServeConfig
+
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        policy=policy,
+        cache_capacity=args.cache_capacity,
+        seed=args.seed,
+        self_tuning=_self_tuning(args),
+    )
+    engine = InferenceEngine(
+        model, eval_spec, args.num_chips, config,
+        fleet_spec=_fleet_spec(args, require=True),
+    )
+    lifecycle = ChipLifecycle(engine, test, _lifecycle_config(args))
+    lifecycle.install()
+    workload, labels, ids = _serving_workload(args, test)
+    trace = _cli_trace(args)
+    started = time.perf_counter()
+    outputs = engine.run_trace(workload, trace, ids=ids, lifecycle=lifecycle)
+    seconds = time.perf_counter() - started
+    logits = np.stack([outputs[rid] for rid in ids])
+    correct = logits.argmax(axis=1) == labels
+    # "End of trace" = the second half of the request stream: long enough to
+    # span several batches and probe rounds, late enough that drift has bitten.
+    tail = max(1, args.requests // 2)
+    return {
+        "policy": policy,
+        "engine": engine,
+        "lifecycle": lifecycle,
+        "accuracy": float(correct.mean()),
+        "end_accuracy": float(correct[-tail:].mean()),
+        "recalibrations": len(lifecycle.events),
+        "seconds": seconds,
+    }
+
+
+def _print_quality_timeline(engine) -> None:
+    """Drift/recovery curves: probed accuracy per chip over virtual time."""
+    series = engine.telemetry.quality_series
+    if not series:
+        return
+    chips = sorted(series)
+    times = sorted({time for chip in chips for time, _ in series[chip]})
+    rows = []
+    for probe_time in times:
+        row = [f"{probe_time:.0f}"]
+        for chip in chips:
+            # Last probe at this time wins: a recalibration probe at the same
+            # timestamp overwrites the triggering (degraded) probe.
+            values = [q for t, q in series[chip] if t == probe_time]
+            row.append(f"{100 * values[-1]:.1f}" if values else "-")
+        rows.append(row)
+    print(format_table(["t"] + chips, rows, title="probed accuracy over time (%)"))
+    events = engine.telemetry.recalibration_events
+    if events:
+        print("recalibration events: " + "  ".join(
+            f"t={event_time:.0f}:{chip}" for event_time, chip in events
+        ))
+
+
+def _drift_record(args, runs: list[dict]) -> dict:
+    return {
+        "model": args.model,
+        "notation": args.notation,
+        "fleet": args.fleet or "rram:2,flash:2",
+        "trace": args.trace or "uniform",
+        "trace_rate": args.trace_rate,
+        "drift_kind": args.drift_kind,
+        "drift_nu": args.drift_nu,
+        "probe_every": args.probe_every,
+        "accuracy_floor": args.accuracy_floor,
+        "requests": args.requests,
+        "seed": args.seed,
+        "policies": [
+            {
+                "policy": run["policy"],
+                "accuracy": run["accuracy"],
+                "end_accuracy": run["end_accuracy"],
+                "recalibrations": run["recalibrations"],
+                "seconds": run["seconds"],
+                "telemetry": run["engine"].telemetry.report(),
+                "cache": run["engine"].cache.stats.as_dict(),
+            }
+            for run in runs
+        ],
+    }
+
+
+def _cmd_serve_bench_drift(args) -> int:
+    model, test, eval_spec = _serve_model(args)
+    policies = list(dict.fromkeys([args.policy, "drift-aware", "round-robin"]))
+    runs = [_drift_serving_run(model, test, eval_spec, args, p) for p in policies]
+    rows = [
+        [run["policy"], f"{100 * run['accuracy']:.1f}",
+         f"{100 * run['end_accuracy']:.1f}", run["recalibrations"],
+         f"{run['engine'].telemetry.queue_ticks.max:.0f}",
+         f"{args.requests / run['seconds']:.1f}"]
+        for run in runs
+    ]
+    print(
+        format_table(
+            ["policy", "accuracy %", "end-of-trace %", "recals", "queue max", "req/s"],
+            rows,
+            title=(
+                f"serve-bench --drift {args.model}/{args.notation} "
+                f"fleet={args.fleet or 'rram:2,flash:2'} "
+                f"trace={args.trace or 'uniform'} nu={args.drift_nu}"
+            ),
+        )
+    )
+    print()
+    _print_quality_timeline(runs[0]["engine"])
+    print(f"\nmapping cache: {runs[0]['engine'].cache.stats.as_dict()}")
+    baseline = next(run for run in runs if run["policy"] == "round-robin")
+    for run in runs:
+        if run is baseline:
+            continue
+        lead = run["end_accuracy"] - baseline["end_accuracy"]
+        print(
+            f"{run['policy']} vs round-robin end-of-trace accuracy: "
+            f"{100 * run['end_accuracy']:.1f}% vs "
+            f"{100 * baseline['end_accuracy']:.1f}% ({100 * lead:+.1f} pts)"
+        )
+    store = ResultStore(args.results_dir)
+    path = store.save(f"serve-bench-drift-{args.model}", _drift_record(args, runs))
+    print(f"\nsaved: {path}")
+    return 0
+
+
+def _cmd_lifetime_bench(args) -> int:
+    model, test, eval_spec = _serve_model(args)
+    runs = [
+        _drift_serving_run(model, test, eval_spec, args, policy)
+        for policy in args.policies
+    ]
+    rows = [
+        [run["policy"], f"{100 * run['accuracy']:.1f}",
+         f"{100 * run['end_accuracy']:.1f}", run["recalibrations"],
+         f"{run['engine'].telemetry.queue_ticks.mean:.2f}",
+         f"{run['engine'].telemetry.queue_ticks.max:.0f}"]
+        for run in runs
+    ]
+    print(
+        format_table(
+            ["policy", "accuracy %", "end-of-trace %", "recals",
+             "queue mean", "queue max"],
+            rows,
+            title=(
+                f"lifetime-bench {args.model}/{args.notation} "
+                f"fleet={args.fleet or 'rram:2,flash:2'} "
+                f"trace={args.trace or 'uniform'} {args.drift_kind} drift"
+            ),
+        )
+    )
+    print()
+    _print_quality_timeline(runs[0]["engine"])
+    best = max(runs, key=lambda run: run["end_accuracy"])
+    print(f"\nbest end-of-trace policy: {best['policy']} "
+          f"({100 * best['end_accuracy']:.1f}%)")
+    store = ResultStore(args.results_dir)
+    path = store.save(f"lifetime-bench-{args.model}", _drift_record(args, runs))
+    print(f"saved: {path}")
+    return 0
+
+
 def _cmd_serve_bench(args) -> int:
     from repro.serve import InferenceEngine, ServeConfig
 
+    if args.drift:
+        return _cmd_serve_bench_drift(args)
     model, test, eval_spec = _serve_model(args)
-    workload = np.concatenate(
-        [test.images] * (1 + (args.requests - 1) // len(test))
-    )[: args.requests]
-    ids = [f"r{i:06d}" for i in range(args.requests)]
+    workload, _, ids = _serving_workload(args, test)
 
     def serve(max_batch: int, max_wait: int):
         config = ServeConfig(
@@ -352,12 +645,17 @@ def _cmd_serve_bench(args) -> int:
             seed=args.seed,
             self_tuning=_self_tuning(args),
         )
-        engine = InferenceEngine(model, eval_spec, args.num_chips, config)
+        engine = InferenceEngine(
+            model, eval_spec, args.num_chips, config, fleet_spec=_fleet_spec(args)
+        )
         engine.warm_up()  # program outside the timed region
-        if args.policy == "accuracy-weighted":
+        if args.policy in ("accuracy-weighted", "drift-aware"):
             engine.probe_fleet(test, k=args.probe_k)
         started = time.perf_counter()
-        outputs = engine.run(workload, ids=ids)
+        if args.trace is not None:
+            outputs = engine.run_trace(workload, _cli_trace(args), ids=ids)
+        else:
+            outputs = engine.run(workload, ids=ids)
         return engine, outputs, time.perf_counter() - started
 
     sequential, seq_out, seq_seconds = serve(max_batch=1, max_wait=0)
@@ -424,4 +722,6 @@ def main(argv=None) -> int:
         return _cmd_sweep(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "lifetime-bench":
+        return _cmd_lifetime_bench(args)
     return _cmd_compare(args)

@@ -35,6 +35,9 @@ class DeviceModel:
     are expressed relative to ``g_max`` when ``proportional=False`` (the
     layer-fixed flavour) or relative to the programmed conductance when
     ``proportional=True`` (the weight-proportional flavour).
+    ``drift_scale`` is the relative severity of time-dependent conductance
+    drift (see :mod:`repro.pim.drift`): 1.0 is PCM/RRAM-class log-time
+    decay, flash retention is far tighter, bistable MRAM barely moves.
     """
 
     name: str = "generic"
@@ -44,6 +47,7 @@ class DeviceModel:
     sigma_program: float = 0.0
     sigma_read: float = 0.0
     proportional: bool = True
+    drift_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.g_max <= self.g_min:
@@ -52,6 +56,8 @@ class DeviceModel:
             raise ValueError("need at least one bit per cell")
         if self.sigma_program < 0.0 or self.sigma_read < 0.0:
             raise ValueError("noise sigmas must be non-negative")
+        if self.drift_scale < 0.0:
+            raise ValueError("drift_scale must be non-negative")
 
     # ------------------------------------------------------------------
     # Level grid
@@ -153,6 +159,7 @@ def rram(sigma_program: float = 0.1, bits_per_cell: int = 4) -> DeviceModel:
         sigma_program=sigma_program,
         sigma_read=0.02,
         proportional=True,
+        drift_scale=1.0,
     )
 
 
@@ -167,6 +174,7 @@ def flash(sigma_program: float = 0.03, bits_per_cell: int = 5) -> DeviceModel:
         sigma_program=sigma_program,
         sigma_read=0.01,
         proportional=False,
+        drift_scale=0.15,
     )
 
 
@@ -180,6 +188,7 @@ def mram(sigma_program: float = 0.05) -> DeviceModel:
         sigma_program=sigma_program,
         sigma_read=0.01,
         proportional=False,
+        drift_scale=0.1,
     )
 
 
@@ -193,6 +202,7 @@ def ideal(bits_per_cell: int = 8) -> DeviceModel:
         sigma_program=0.0,
         sigma_read=0.0,
         proportional=True,
+        drift_scale=0.0,
     )
 
 

@@ -4,27 +4,53 @@ Deployment-scale counterpart of the single-chip evaluation utilities: a
 pool of sampled chips (each with its own programmed, optionally
 self-tuned mapping), dynamic micro-batching of single-sample requests,
 pluggable fleet scheduling, an LRU mapping cache, and streaming
-telemetry.  See :class:`~repro.serve.engine.InferenceEngine` for the
-entry point and ``examples/serving_fleet.py`` for an end-to-end tour.
+telemetry.  On top of the static fleet, :mod:`repro.serve.lifecycle`
+drives drift aging, quality monitoring, and recalibration-triggered
+cache invalidation over mixed-technology fleets
+(:class:`~repro.serve.engine.FleetSpec`), and :mod:`repro.serve.trace`
+supplies Poisson/bursty/replayed arrival traces.  See
+:class:`~repro.serve.engine.InferenceEngine` for the entry point and
+``examples/serving_fleet.py`` / ``examples/lifecycle_serving.py`` for
+end-to-end tours.
 """
 
 from repro.serve.batcher import Batch, MicroBatcher, Request
 from repro.serve.cache import CacheStats, MappingCache, mapping_key
-from repro.serve.engine import FleetChip, InferenceEngine, ServeConfig, ServedRequest
+from repro.serve.engine import (
+    FleetChip,
+    FleetSpec,
+    InferenceEngine,
+    ServeConfig,
+    ServedRequest,
+    TechnologyGroup,
+)
+from repro.serve.lifecycle import ChipLifecycle, LifecycleConfig, RecalibrationEvent
 from repro.serve.scheduler import (
     POLICIES,
     AccuracyWeightedPolicy,
+    DriftAwarePolicy,
     LeastLoadedPolicy,
     RoundRobinPolicy,
     SchedulingPolicy,
     make_policy,
 )
 from repro.serve.telemetry import ServeTelemetry
+from repro.serve.trace import (
+    TRACES,
+    ArrivalTrace,
+    BurstyTrace,
+    PoissonTrace,
+    ReplayTrace,
+    UniformTrace,
+    make_trace,
+)
 
 __all__ = [
     "InferenceEngine",
     "ServeConfig",
     "FleetChip",
+    "FleetSpec",
+    "TechnologyGroup",
     "ServedRequest",
     "Request",
     "Batch",
@@ -36,7 +62,18 @@ __all__ = [
     "RoundRobinPolicy",
     "LeastLoadedPolicy",
     "AccuracyWeightedPolicy",
+    "DriftAwarePolicy",
     "POLICIES",
     "make_policy",
     "ServeTelemetry",
+    "ChipLifecycle",
+    "LifecycleConfig",
+    "RecalibrationEvent",
+    "ArrivalTrace",
+    "UniformTrace",
+    "PoissonTrace",
+    "BurstyTrace",
+    "ReplayTrace",
+    "TRACES",
+    "make_trace",
 ]

@@ -27,11 +27,19 @@ def mapping_key(model_key: str, qconfig_notation: str, chip_id: str) -> tuple:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters for one :class:`MappingCache`."""
+    """Hit/miss/eviction counters for one :class:`MappingCache`.
+
+    ``evictions`` counts capacity-pressure drops (LRU); ``invalidations``
+    counts deliberate drops via :meth:`MappingCache.invalidate` /
+    :meth:`MappingCache.invalidate_where` — e.g. recalibration replacing a
+    drifted chip's stale mapping.  Telemetry reports both so operators can
+    tell "cache too small" from "fleet recalibrating a lot".
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
     program_seconds: float = 0.0
 
     @property
@@ -47,6 +55,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
             "program_seconds": self.program_seconds,
         }
@@ -100,9 +109,34 @@ class MappingCache:
                 self.stats.evictions += 1
         return mapping
 
+    def peek(self, key: Hashable):
+        """The resident mapping for ``key`` or ``None`` — no stats, no LRU touch.
+
+        Used by the lifecycle layer to refresh drifted variation *in place*
+        on a resident mapping without perturbing hit/miss accounting.
+        """
+        return self._entries.get(key)
+
     def invalidate(self, key: Hashable) -> bool:
         """Drop one mapping (e.g. after recalibration); True if it was resident."""
-        return self._entries.pop(key, None) is not None
+        if self._entries.pop(key, None) is None:
+            return False
+        self.stats.invalidations += 1
+        return True
+
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every mapping whose key matches ``predicate``; returns the count.
+
+        This is the recalibration entry point: dropping only
+        ``key[-1] == chip_id`` replaces one reprogrammed chip's stale
+        mapping while every healthy chip stays resident (no fleet-wide
+        flush, no spurious reprogramming cost).
+        """
+        stale = [key for key in self._entries if predicate(key)]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
 
     def clear(self) -> None:
         """Drop every resident mapping (stats are kept)."""

@@ -29,6 +29,7 @@ import numpy as np
 from repro.autograd import Tensor, no_grad
 from repro.datasets.loaders import batch_iterator
 from repro.eval.metrics import topk_accuracy
+from repro.pim.devices import device_by_name
 from repro.quant.ptq import quantized_layers
 from repro.selftuning.tuner import SelfTuningConfig
 from repro.selftuning.wrap import attach_self_tuning
@@ -36,7 +37,9 @@ from repro.serve.batcher import Batch, MicroBatcher, Request
 from repro.serve.cache import MappingCache, mapping_key
 from repro.serve.scheduler import make_policy
 from repro.serve.telemetry import ServeTelemetry
+from repro.serve.trace import ArrivalTrace
 from repro.variability.injection import inject_variation
+from repro.variability.models import variance_model_by_name
 from repro.variability.sampler import ChipVariation, VariabilitySampler, VariabilitySpec
 
 
@@ -59,9 +62,91 @@ class ServeConfig:
     self_tuning: SelfTuningConfig | None = None
 
 
+@dataclass(frozen=True)
+class TechnologyGroup:
+    """One homogeneous slice of a heterogeneous fleet.
+
+    ``device`` names a :mod:`repro.pim.devices` preset; the group's chips
+    are sampled from the variability spec that technology implies — its
+    program/verify sigma becomes the spec's sigma and its residual-error
+    shape (weight-proportional vs layer-fixed) picks the variance model.
+    ``sigma_scale`` rescales the preset sigma (process maturity knob).
+    """
+
+    device: str
+    count: int
+    sigma_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        device_by_name(self.device)  # fail fast on typos
+        if self.count < 1:
+            raise ValueError(f"group count must be >= 1, got {self.count}")
+        if self.sigma_scale <= 0.0:
+            raise ValueError("sigma_scale must be positive")
+
+    def variability_spec(self, scenario: str = "mixed") -> VariabilitySpec:
+        """The spec this technology's chips are sampled from."""
+        device = device_by_name(self.device)
+        sigma = self.sigma_scale * device.effective_sigma()
+        variance_model = variance_model_by_name(device.variance_model_name)
+        if scenario == "within":
+            return VariabilitySpec.within_only(sigma, variance_model)
+        if scenario == "mixed":
+            return VariabilitySpec.mixed(sigma / np.sqrt(2.0), variance_model)
+        raise ValueError(f"scenario must be 'within' or 'mixed', got {scenario!r}")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A mixed-technology fleet: ordered technology groups.
+
+    Parsed from the CLI syntax ``"rram:2,flash:2"`` (optionally
+    ``rram:2@0.5`` to scale the preset sigma).  Chip ids carry the
+    technology (``rram00``, ``flash02``, …) so telemetry and cache keys
+    stay self-describing.
+    """
+
+    groups: tuple[TechnologyGroup, ...]
+    scenario: str = "mixed"
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("fleet needs at least one technology group")
+
+    @property
+    def num_chips(self) -> int:
+        return sum(group.count for group in self.groups)
+
+    @classmethod
+    def parse(cls, text: str, scenario: str = "mixed") -> "FleetSpec":
+        """Parse ``"rram:2,flash:2"`` / ``"rram:4@0.5"`` into a spec."""
+        groups = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            device, _, tail = part.partition(":")
+            count_text, _, scale_text = tail.partition("@")
+            try:
+                count = int(count_text) if count_text else 1
+                scale = float(scale_text) if scale_text else 1.0
+            except ValueError as error:
+                raise ValueError(f"bad fleet group {part!r}: {error}") from None
+            groups.append(TechnologyGroup(device.strip(), count, scale))
+        return cls(tuple(groups), scenario=scenario)
+
+
 @dataclass
 class FleetChip:
-    """One pool member: a sampled chip plus its serving bookkeeping."""
+    """One pool member: a sampled chip plus its serving bookkeeping.
+
+    ``technology``/``spec`` pin the chip's device class in a heterogeneous
+    fleet (``spec=None`` means "use the engine-wide spec").  ``age`` is the
+    virtual time since the chip was last (re)programmed and
+    ``recalibrations`` counts lifecycle recalibration events — both stay at
+    their defaults on static fleets and are maintained by
+    :class:`~repro.serve.lifecycle.ChipLifecycle` on drifting ones.
+    """
 
     index: int
     chip_id: str
@@ -69,12 +154,17 @@ class FleetChip:
     served_samples: int = 0
     served_batches: int = 0
     quality: float | None = None
+    technology: str = "generic"
+    spec: VariabilitySpec | None = None
+    age: float = 0.0
+    recalibrations: int = 0
+    mapping_stale: bool = False
 
     def __repr__(self) -> str:
         quality = f"{self.quality:.3f}" if self.quality is not None else "unprobed"
         return (
-            f"FleetChip({self.chip_id}, served={self.served_samples}, "
-            f"quality={quality})"
+            f"FleetChip({self.chip_id}, tech={self.technology}, "
+            f"served={self.served_samples}, quality={quality})"
         )
 
 
@@ -113,20 +203,25 @@ class InferenceEngine:
         num_chips: int = 4,
         config: ServeConfig = ServeConfig(),
         model_key: str | None = None,
+        fleet_spec: FleetSpec | None = None,
     ) -> None:
-        if num_chips < 1:
+        if fleet_spec is None and num_chips < 1:
             raise ValueError(f"num_chips must be >= 1, got {num_chips}")
         self.model = model
         self.spec = spec
         self.config = config
         self.model_key = model_key or model.__class__.__name__
         self._notation = self._validate_model(model)
-        sampler = VariabilitySampler(spec, seed=config.seed)
-        width = max(2, len(str(num_chips - 1)))
-        self.fleet = [
-            FleetChip(i, f"chip{i:0{width}d}", sampler.sample_chip())
-            for i in range(num_chips)
-        ]
+        self.fleet_spec = fleet_spec
+        if fleet_spec is None:
+            sampler = VariabilitySampler(spec, seed=config.seed)
+            width = max(2, len(str(num_chips - 1)))
+            self.fleet = [
+                FleetChip(i, f"chip{i:0{width}d}", sampler.sample_chip())
+                for i in range(num_chips)
+            ]
+        else:
+            self.fleet = self._sample_heterogeneous(fleet_spec, config.seed)
         self.cache = MappingCache(capacity=config.cache_capacity)
         self.batcher = MicroBatcher(config.max_batch, config.max_wait)
         self.policy = make_policy(config.policy)
@@ -138,6 +233,29 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # Fleet programming
     # ------------------------------------------------------------------
+    @staticmethod
+    def _sample_heterogeneous(fleet_spec: FleetSpec, seed: int) -> list[FleetChip]:
+        """Sample a mixed-technology fleet, one sampler per technology group.
+
+        Each group gets its own deterministic sampler stream, so adding a
+        group (or reordering groups) never perturbs another group's chips.
+        """
+        fleet = []
+        for group_index, group in enumerate(fleet_spec.groups):
+            group_spec = group.variability_spec(fleet_spec.scenario)
+            sampler = VariabilitySampler(group_spec, seed=(int(seed), group_index))
+            for member in range(group.count):
+                fleet.append(
+                    FleetChip(
+                        index=len(fleet),
+                        chip_id=f"{group.device}{member:02d}",
+                        variation=sampler.sample_chip(),
+                        technology=group.device,
+                        spec=group_spec,
+                    )
+                )
+        return fleet
+
     @staticmethod
     def _validate_model(model) -> str:
         layers = [layer for _, layer in quantized_layers(model)]
@@ -162,14 +280,34 @@ class InferenceEngine:
         """
         mapping = copy.deepcopy(self.model)
         mapping.eval()
-        inject_variation(mapping, chip.variation, self.spec)
+        inject_variation(mapping, chip.variation, self.spec_for(chip))
         if self.config.self_tuning is not None:
             attach_self_tuning(mapping, self.config.self_tuning)
+        chip.mapping_stale = False  # programmed from the chip's current state
         return mapping
 
+    def spec_for(self, chip: FleetChip) -> VariabilitySpec:
+        """The variability spec governing one chip (per-technology on
+        heterogeneous fleets, the engine-wide spec otherwise)."""
+        return chip.spec if chip.spec is not None else self.spec
+
+    def key_for(self, chip: FleetChip) -> tuple:
+        """The chip's mapping-cache key."""
+        return mapping_key(self.model_key, self._notation, chip.chip_id)
+
     def _mapping_for(self, chip: FleetChip):
-        key = mapping_key(self.model_key, self._notation, chip.chip_id)
-        return self.cache.get_or_program(key, lambda: self._program(chip))
+        mapping = self.cache.get_or_program(
+            self.key_for(chip), lambda: self._program(chip)
+        )
+        if chip.mapping_stale:
+            # The physical chip changed since this mapping was last installed
+            # (drift advanced by the lifecycle).  Refresh in place, lazily, so
+            # only chips that are actually dispatched or probed pay the
+            # re-injection cost — and without any cache traffic, because
+            # drift does not reprogram anything.
+            inject_variation(mapping, chip.variation, self.spec_for(chip))
+            chip.mapping_stale = False
+        return mapping
 
     def warm_up(self) -> None:
         """Program every chip ahead of traffic (cold-start avoidance)."""
@@ -185,19 +323,25 @@ class InferenceEngine:
         accuracy on the chip handle — the signal the accuracy-weighted
         scheduling policy uses.  Returns ``{chip_id: quality}``.
         """
-        qualities = {}
+        return {
+            chip.chip_id: self.probe_chip(chip, dataset, k=k, batch_size=batch_size)
+            for chip in self.fleet
+        }
+
+    def probe_chip(
+        self, chip: FleetChip, dataset, k: int = 1, batch_size: int = 64
+    ) -> float:
+        """Probe one chip's current quality and store it on the handle."""
         with no_grad():
-            for chip in self.fleet:
-                mapping = self._mapping_for(chip)
-                logits, targets = [], []
-                for inputs, labels in batch_iterator(dataset, batch_size, shuffle=False):
-                    logits.append(mapping(Tensor(inputs)).data)
-                    targets.append(labels)
-                chip.quality = topk_accuracy(
-                    np.concatenate(logits), np.concatenate(targets), k=k
-                )
-                qualities[chip.chip_id] = chip.quality
-        return qualities
+            mapping = self._mapping_for(chip)
+            logits, targets = [], []
+            for inputs, labels in batch_iterator(dataset, batch_size, shuffle=False):
+                logits.append(mapping(Tensor(inputs)).data)
+                targets.append(labels)
+            chip.quality = topk_accuracy(
+                np.concatenate(logits), np.concatenate(targets), k=k
+            )
+        return chip.quality
 
     # ------------------------------------------------------------------
     # Request lifecycle
@@ -278,6 +422,45 @@ class InferenceEngine:
             ]
         self.drain()
         return {request.id: self._completed[request.id].output for request in requests}
+
+    def run_trace(
+        self,
+        inputs,
+        trace: ArrivalTrace,
+        ids=None,
+        lifecycle=None,
+    ) -> dict[str, np.ndarray]:
+        """Serve ``inputs`` under an arrival trace; returns ``{id: logits}``.
+
+        Unlike :meth:`run` (everything arrives at once), requests are
+        submitted on the ticks the trace assigns, so batching deadlines and
+        queue build-up behave as under live traffic.  If a
+        :class:`~repro.serve.lifecycle.ChipLifecycle` is passed, its drift
+        clock advances once per tick *before* dispatch — chips age, get
+        probed, and recalibrate while traffic is in flight.
+        """
+        inputs = np.asarray(inputs)
+        if ids is not None:
+            if len(ids) != len(inputs):
+                raise ValueError("ids and inputs length mismatch")
+            if len(set(ids)) != len(ids):
+                raise ValueError("ids must be unique; duplicates would overwrite results")
+        schedule = trace.schedule(len(inputs))
+        if any(b < a for a, b in zip(schedule, schedule[1:])):
+            raise ValueError("trace schedule must be non-decreasing")
+        offset = self.now
+        submitted: list[Request] = []
+        cursor = 0
+        while cursor < len(schedule) or len(self.batcher):
+            tick = self.now - offset
+            while cursor < len(schedule) and schedule[cursor] <= tick:
+                request_id = None if ids is None else ids[cursor]
+                submitted.append(self.submit(inputs[cursor], request_id))
+                cursor += 1
+            if lifecycle is not None:
+                lifecycle.advance()
+            self.step()
+        return {request.id: self._completed[request.id].output for request in submitted}
 
     # ------------------------------------------------------------------
     # Introspection

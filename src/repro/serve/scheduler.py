@@ -11,7 +11,12 @@ quality), never the programmed mappings themselves.
   fewest samples so far (balances heterogeneous batch sizes);
 * ``accuracy-weighted`` — weighted fair queueing on each chip's measured
   calibration quality (see ``InferenceEngine.probe_fleet``), so better
-  chips serve proportionally more traffic without starving the rest.
+  chips serve proportionally more traffic without starving the rest;
+* ``drift-aware`` — greedy accuracy-first dispatch on each chip's
+  *current* quality estimate with an age discount (see
+  :mod:`repro.serve.lifecycle`): near-equal chips are balanced
+  least-loaded, measurably degraded chips get no traffic until they
+  recover — the fairness-free behaviour a drifting fleet needs.
 """
 
 from __future__ import annotations
@@ -84,10 +89,60 @@ class AccuracyWeightedPolicy(SchedulingPolicy):
         )
 
 
+class DriftAwarePolicy(SchedulingPolicy):
+    """Greedy accuracy-first dispatch for drifting fleets.
+
+    Accuracy-weighted fair queueing is the right call on a *static* fleet:
+    quality is constant, so deferring a weak chip's share and paying it
+    back later costs nothing.  Under drift that catch-up is poison — the
+    debt owed to a down-weighted chip comes due exactly when the chip has
+    degraded furthest.  This policy therefore holds no traffic debt at
+    all: every batch goes to the chip with the best *current* quality
+    estimate (as maintained by
+    :class:`~repro.serve.lifecycle.ChipLifecycle`'s probes and
+    model-predictive extrapolation), discounted by
+    ``1 + age_discount * age`` so a chip long past its last recalibration
+    is trusted less.  Chips within ``tie_margin`` of the best are treated
+    as equals and balanced least-loaded-first, which keeps a healthy
+    homogeneous fleet load-balanced; a chip that stays measurably worse
+    receives no traffic until it recovers — deliberate: under drift,
+    starving a degraded chip *is* the accuracy-preserving behaviour.
+    """
+
+    name = "drift-aware"
+
+    def __init__(
+        self,
+        floor: float = 1e-3,
+        age_discount: float = 0.1,
+        tie_margin: float = 0.01,
+    ) -> None:
+        if age_discount < 0.0:
+            raise ValueError("age_discount must be >= 0")
+        if tie_margin < 0.0:
+            raise ValueError("tie_margin must be >= 0")
+        self.floor = float(floor)
+        self.age_discount = float(age_discount)
+        self.tie_margin = float(tie_margin)
+
+    def _weight(self, chip) -> float:
+        quality = chip.quality if chip.quality is not None else 1.0
+        age = max(0.0, float(getattr(chip, "age", 0.0)))
+        return max(float(quality) / (1.0 + self.age_discount * age), self.floor)
+
+    def choose(self, batch, chips):
+        best = max(self._weight(chip) for chip in chips)
+        contenders = [
+            chip for chip in chips if self._weight(chip) >= best - self.tie_margin
+        ]
+        return min(contenders, key=lambda chip: (chip.served_samples, chip.index))
+
+
 POLICIES = {
     RoundRobinPolicy.name: RoundRobinPolicy,
     LeastLoadedPolicy.name: LeastLoadedPolicy,
     AccuracyWeightedPolicy.name: AccuracyWeightedPolicy,
+    DriftAwarePolicy.name: DriftAwarePolicy,
 }
 
 

@@ -20,7 +20,10 @@ class ServeTelemetry:
     * ``service_seconds`` — wall-clock seconds per batched forward pass;
     * ``batch_size`` / ``occupancy`` — how full released batches are
       relative to ``max_batch``;
-    * ``per_chip_samples`` — samples served by each chip (load balance).
+    * ``per_chip_samples`` — samples served by each chip (load balance);
+    * ``recalibrations`` / ``quality_series`` — lifecycle events: per-chip
+      recalibration counts and the probed accuracy-over-(virtual)-time
+      series, which is what a drift/recovery curve is plotted from.
     """
 
     def __init__(self, max_batch: int = 1) -> None:
@@ -32,6 +35,9 @@ class ServeTelemetry:
         self.requests = 0
         self.batches = 0
         self.per_chip_samples: dict[str, int] = defaultdict(int)
+        self.recalibrations: dict[str, int] = defaultdict(int)
+        self.recalibration_events: list[tuple[float, str]] = []
+        self.quality_series: dict[str, list[tuple[float, float]]] = defaultdict(list)
 
     def record_batch(self, chip_id: str, queue_ticks, seconds: float) -> None:
         """Account one dispatched batch.
@@ -49,6 +55,19 @@ class ServeTelemetry:
         for ticks in queue_ticks:
             self.queue_ticks.update(ticks)
         self.service_seconds.update(seconds)
+
+    def record_quality(self, chip_id: str, time: float, quality: float) -> None:
+        """Append one probed quality sample to a chip's accuracy-over-time series."""
+        self.quality_series[chip_id].append((float(time), float(quality)))
+
+    def record_recalibration(self, chip_id: str, time: float) -> None:
+        """Account one recalibration event (GTM re-measure + reprogram)."""
+        self.recalibrations[chip_id] += 1
+        self.recalibration_events.append((float(time), chip_id))
+
+    def quality_timeline(self, chip_id: str) -> list[tuple[float, float]]:
+        """One chip's ``(time, probed accuracy)`` series, oldest first."""
+        return list(self.quality_series.get(chip_id, []))
 
     @property
     def total_service_seconds(self) -> float:
@@ -82,6 +101,14 @@ class ServeTelemetry:
                 "std": self.service_seconds.std,
             },
             "per_chip_samples": dict(self.per_chip_samples),
+            "recalibrations": dict(self.recalibrations),
+            "recalibration_events": [
+                {"time": time, "chip": chip} for time, chip in self.recalibration_events
+            ],
+            "quality_series": {
+                chip: [{"time": time, "accuracy": q} for time, q in series]
+                for chip, series in self.quality_series.items()
+            },
         }
 
     def format(self) -> str:
@@ -100,4 +127,21 @@ class ServeTelemetry:
                 f"{chip}={count}" for chip, count in sorted(self.per_chip_samples.items())
             ),
         ]
+        if self.recalibrations:
+            lines.append(
+                "recalibrations: "
+                + "  ".join(
+                    f"{chip}={count}"
+                    for chip, count in sorted(self.recalibrations.items())
+                )
+            )
+        if self.quality_series:
+            lines.append(
+                "quality now: "
+                + "  ".join(
+                    f"{chip}={100 * series[-1][1]:.0f}%"
+                    for chip, series in sorted(self.quality_series.items())
+                    if series
+                )
+            )
         return "\n".join(lines)

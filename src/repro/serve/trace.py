@@ -1,0 +1,151 @@
+"""Arrival traces: when requests reach the serving engine.
+
+``InferenceEngine.run`` submits every request at tick 0 — fine for a
+throughput benchmark, useless for studying tail latency or drift, where
+*when* traffic arrives matters as much as how much.  An
+:class:`ArrivalTrace` assigns each request of a workload an arrival tick;
+``InferenceEngine.run_trace`` then feeds the
+:class:`~repro.serve.batcher.MicroBatcher` tick by tick, so partial
+batches, deadline releases, and queue build-up during bursts all happen
+exactly as they would under live traffic.
+
+Traces are deterministic value objects: the schedule is a pure function of
+the trace's own parameters (including its seed), never of global RNG
+state, so a fixed-seed serving run is reproducible end to end — the
+property ``tests/test_serve_lifecycle.py`` locks in.
+
+* :class:`UniformTrace` — a constant deterministic rate (the closed-loop
+  baseline);
+* :class:`PoissonTrace` — i.i.d. exponential inter-arrival gaps (classic
+  open-loop traffic);
+* :class:`BurstyTrace` — an on/off modulated Poisson process (MMPP-style):
+  quiet periods at ``rate`` interrupted by bursts at ``burst_rate``, the
+  shape that actually stresses a batching deadline;
+* :class:`ReplayTrace` — replay explicit per-request arrival ticks
+  captured from a production log or a previous run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ArrivalTrace:
+    """Assigns arrival ticks to a request stream."""
+
+    name = "base"
+
+    def schedule(self, count: int) -> list[int]:
+        """Non-decreasing arrival tick for each of ``count`` requests."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UniformTrace(ArrivalTrace):
+    """Deterministic constant arrival rate (``rate`` requests per tick)."""
+
+    rate: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+
+    name = "uniform"
+
+    def schedule(self, count: int) -> list[int]:
+        return [int(i / self.rate) for i in range(count)]
+
+
+@dataclass(frozen=True)
+class PoissonTrace(ArrivalTrace):
+    """Memoryless open-loop traffic: exponential inter-arrival gaps."""
+
+    rate: float = 8.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+
+    name = "poisson"
+
+    def schedule(self, count: int) -> list[int]:
+        rng = np.random.default_rng((int(self.seed), 0x9015504))
+        gaps = rng.exponential(1.0 / self.rate, size=count)
+        return np.floor(np.cumsum(gaps)).astype(int).tolist()
+
+
+@dataclass(frozen=True)
+class BurstyTrace(ArrivalTrace):
+    """On/off modulated Poisson traffic.
+
+    The cycle is ``period`` ticks long; the first ``duty`` fraction of it
+    runs hot at ``burst_rate``, the rest idles at ``rate``.  The mean rate
+    is ``duty * burst_rate + (1 - duty) * rate``; bursts above the fleet's
+    service rate build queue depth and light up the latency tail.
+    """
+
+    rate: float = 2.0
+    burst_rate: float = 24.0
+    period: int = 16
+    duty: float = 0.25
+    seed: int = 0
+
+    name = "bursty"
+
+    def __post_init__(self) -> None:
+        if self.rate < 0.0 or self.burst_rate <= 0.0:
+            raise ValueError("rates must be positive (quiet rate may be 0)")
+        if self.period < 1 or not 0.0 < self.duty <= 1.0:
+            raise ValueError("period must be >= 1 and duty in (0, 1]")
+
+    def _rate_at(self, tick: int) -> float:
+        return self.burst_rate if (tick % self.period) < self.duty * self.period else self.rate
+
+    def schedule(self, count: int) -> list[int]:
+        rng = np.random.default_rng((int(self.seed), 0xB0857))
+        ticks: list[int] = []
+        tick = 0
+        while len(ticks) < count:
+            arrivals = rng.poisson(self._rate_at(tick))
+            ticks.extend([tick] * min(arrivals, count - len(ticks)))
+            tick += 1
+        return ticks
+
+
+@dataclass(frozen=True)
+class ReplayTrace(ArrivalTrace):
+    """Replay explicit arrival ticks (e.g. captured from a request log)."""
+
+    ticks: tuple[int, ...]
+
+    name = "replay"
+
+    def __post_init__(self) -> None:
+        if any(b < a for a, b in zip(self.ticks, self.ticks[1:])):
+            raise ValueError("replayed arrival ticks must be non-decreasing")
+        if any(t < 0 for t in self.ticks):
+            raise ValueError("arrival ticks must be non-negative")
+
+    def schedule(self, count: int) -> list[int]:
+        if count > len(self.ticks):
+            raise ValueError(
+                f"trace has {len(self.ticks)} arrivals, {count} requests submitted"
+            )
+        return list(self.ticks[:count])
+
+
+TRACES = {
+    UniformTrace.name: UniformTrace,
+    PoissonTrace.name: PoissonTrace,
+    BurstyTrace.name: BurstyTrace,
+}
+
+
+def make_trace(name: str, **kwargs) -> ArrivalTrace:
+    """Instantiate a trace by registry name (``uniform``/``poisson``/``bursty``)."""
+    if name not in TRACES:
+        raise KeyError(f"unknown trace {name!r}; available: {sorted(TRACES)}")
+    return TRACES[name](**kwargs)

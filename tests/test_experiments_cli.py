@@ -109,6 +109,31 @@ class TestParser:
             with pytest.raises(SystemExit):
                 build_parser().parse_args(["serve-bench", *flags])
 
+    def test_serve_bench_drift_flags(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--drift", "--policy", "accuracy-weighted",
+             "--trace", "bursty", "--fleet", "rram:2,flash:2"]
+        )
+        assert args.drift
+        assert args.trace == "bursty"
+        assert args.fleet == "rram:2,flash:2"
+        assert args.drift_kind == "aging"
+
+    def test_drift_aware_policy_accepted(self):
+        args = build_parser().parse_args(["serve-bench", "--policy", "drift-aware"])
+        assert args.policy == "drift-aware"
+
+    def test_lifetime_bench_defaults(self):
+        args = build_parser().parse_args(["lifetime-bench"])
+        assert args.command == "lifetime-bench"
+        assert args.policy == "drift-aware"
+        assert args.policies == ["round-robin", "accuracy-weighted", "drift-aware"]
+        assert args.probe_every == 8.0
+
+    def test_lifetime_bench_rejects_unknown_trace(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lifetime-bench", "--trace", "tsunami"])
+
 
 class TestCliEndToEnd:
     def test_list_exit_code(self, capsys):
@@ -157,6 +182,51 @@ class TestCliEndToEnd:
         assert record["speedup"] > 0
         assert record["telemetry"]["requests"] == 48
         assert record["cache"]["misses"] >= 2
+
+    def test_serve_bench_drift_races_policies(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--drift",
+                "--policy", "accuracy-weighted",
+                "--skip-training",
+                "--requests", "64",
+                "--max-batch", "8",
+                "--trace-rate", "4",
+                "--results-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drift-aware vs round-robin" in out
+        assert "probed accuracy over time" in out
+        record = ResultStore(str(tmp_path)).load("serve-bench-drift-lenet5")
+        assert record["fleet"] == "rram:2,flash:2"
+        policies = [entry["policy"] for entry in record["policies"]]
+        assert policies == ["accuracy-weighted", "drift-aware", "round-robin"]
+        for entry in record["policies"]:
+            assert 0.0 <= entry["end_accuracy"] <= 1.0
+            assert entry["telemetry"]["quality_series"]
+
+    def test_lifetime_bench_end_to_end(self, tmp_path, capsys):
+        code = main(
+            [
+                "lifetime-bench",
+                "--skip-training",
+                "--requests", "64",
+                "--max-batch", "8",
+                "--trace-rate", "4",
+                "--policies", "round-robin", "drift-aware",
+                "--results-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best end-of-trace policy" in out
+        record = ResultStore(str(tmp_path)).load("lifetime-bench-lenet5")
+        assert [entry["policy"] for entry in record["policies"]] == [
+            "round-robin", "drift-aware",
+        ]
 
     @pytest.mark.slow
     def test_run_with_self_tuning(self, tmp_path, capsys):

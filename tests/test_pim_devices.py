@@ -61,6 +61,25 @@ class TestValidation:
         with pytest.raises(KeyError):
             device_by_name("pcm-imaginary")
 
+    def test_rejects_negative_drift_scale(self):
+        with pytest.raises(ValueError):
+            DeviceModel(drift_scale=-0.5)
+
+
+class TestDriftScale:
+    def test_severity_ordering_across_technologies(self):
+        """RRAM-class decay dominates; flash retention is tight; MRAM is
+        bistable; the ideal device does not drift at all."""
+        scales = {
+            name: device_by_name(name).drift_scale
+            for name in ("rram", "flash", "mram", "ideal")
+        }
+        assert scales["rram"] > scales["flash"] > scales["mram"] > scales["ideal"]
+        assert scales["ideal"] == 0.0
+
+    def test_default_device_drifts_at_full_severity(self):
+        assert DeviceModel().drift_scale == 1.0
+
 
 class TestProgramming:
     def test_noise_free_program_is_snapping(self):

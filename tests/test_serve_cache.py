@@ -92,6 +92,58 @@ class TestInvalidate:
         assert key not in cache
         assert not cache.invalidate(key)
 
+    def test_invalidate_counts_in_stats(self):
+        cache, counter = MappingCache(), Counter()
+        key = mapping_key("m", "q", "a")
+        cache.get_or_program(key, counter.programmer(key))
+        cache.invalidate(key)
+        cache.invalidate(key)  # already gone: not counted
+        assert cache.stats.invalidations == 1
+        assert cache.stats.evictions == 0
+        assert cache.stats.as_dict()["invalidations"] == 1
+
+    def test_invalidate_where_is_surgical(self):
+        """Recalibrating one chip must not flush the healthy fleet."""
+        cache, counter = MappingCache(), Counter()
+        keys = [mapping_key("m", "q", f"chip{i}") for i in range(4)]
+        for key in keys:
+            cache.get_or_program(key, counter.programmer(key))
+        dropped = cache.invalidate_where(lambda key: key[-1] == "chip2")
+        assert dropped == 1
+        assert keys[2] not in cache
+        assert all(key in cache for key in keys if key != keys[2])
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_where_matches_many(self):
+        cache, counter = MappingCache(), Counter()
+        for model in ("lenet", "vgg"):
+            for chip in ("a", "b"):
+                key = mapping_key(model, "q", chip)
+                cache.get_or_program(key, counter.programmer(key))
+        dropped = cache.invalidate_where(lambda key: key[0] == "lenet")
+        assert dropped == 2
+        assert len(cache) == 2
+        assert cache.stats.invalidations == 2
+
+    def test_invalidate_where_no_match(self):
+        cache, counter = MappingCache(), Counter()
+        key = mapping_key("m", "q", "a")
+        cache.get_or_program(key, counter.programmer(key))
+        assert cache.invalidate_where(lambda k: False) == 0
+        assert key in cache
+        assert cache.stats.invalidations == 0
+
+    def test_peek_does_not_touch_stats_or_order(self):
+        cache, counter = MappingCache(capacity=2), Counter()
+        a, b = mapping_key("m", "q", "a"), mapping_key("m", "q", "b")
+        cache.get_or_program(a, counter.programmer(a))
+        cache.get_or_program(b, counter.programmer(b))
+        lookups_before = cache.stats.lookups
+        assert cache.peek(a) == "mapping-" + str(a)
+        assert cache.peek(mapping_key("m", "q", "zz")) is None
+        assert cache.stats.lookups == lookups_before
+        assert cache.keys == [a, b]  # peek did not refresh a's recency
+
     def test_clear_keeps_stats(self):
         cache, counter = MappingCache(), Counter()
         key = mapping_key("m", "q", "a")

@@ -12,7 +12,7 @@ from repro.quant.calibration import calibrate_model
 from repro.quant.ptq import convert_to_quantized, quantized_layers
 from repro.quant.qconfig import QConfig
 from repro.selftuning.tuner import SelfTuningConfig
-from repro.serve import InferenceEngine, ServeConfig
+from repro.serve import FleetSpec, InferenceEngine, ServeConfig, TechnologyGroup
 from repro.variability.models import WeightProportionalVariance
 from repro.variability.sampler import VariabilitySpec
 
@@ -236,6 +236,87 @@ class TestSelfTuningAndProbe:
             self_tuning=SelfTuningConfig(kind="global", gtm_cells=100),
         ).run(dataset.images[:8], ids=ids)
         assert any(not np.array_equal(bare[rid], tuned[rid]) for rid in ids)
+
+
+class TestHeterogeneousFleet:
+    def test_parse_fleet_spec(self):
+        spec = FleetSpec.parse("rram:2,flash:1@0.5")
+        assert spec.num_chips == 3
+        assert spec.groups[0] == TechnologyGroup("rram", 2)
+        assert spec.groups[1] == TechnologyGroup("flash", 1, sigma_scale=0.5)
+
+    def test_parse_rejects_unknown_device(self):
+        with pytest.raises(KeyError):
+            FleetSpec.parse("memristor:2")
+
+    def test_group_spec_matches_technology(self):
+        # rram: weight-proportional residuals; flash: layer-fixed ones.
+        rram_spec = TechnologyGroup("rram", 1).variability_spec("mixed")
+        flash_spec = TechnologyGroup("flash", 1).variability_spec("mixed")
+        assert rram_spec.variance_model.name == "weight-proportional"
+        assert flash_spec.variance_model.name == "layer-fixed"
+        assert rram_spec.sigma_total > flash_spec.sigma_total  # noisier cells
+
+    def test_mixed_fleet_serves_all_requests(self, served_model):
+        model, dataset = served_model
+        engine = InferenceEngine(
+            model,
+            VariabilitySpec.null(),
+            config=ServeConfig(max_batch=4, max_wait=1),
+            fleet_spec=FleetSpec.parse("rram:2,flash:2"),
+        )
+        assert [chip.chip_id for chip in engine.fleet] == [
+            "rram00", "rram01", "flash00", "flash01",
+        ]
+        assert [chip.technology for chip in engine.fleet] == [
+            "rram", "rram", "flash", "flash",
+        ]
+        results = engine.run(dataset.images[:16])
+        assert len(results) == 16
+        assert sum(engine.telemetry.per_chip_samples.values()) == 16
+
+    def test_per_chip_spec_governs_programming(self, served_model):
+        """Each technology group is sampled from its own variability spec."""
+        model, _ = served_model
+        engine = InferenceEngine(
+            model,
+            VariabilitySpec.null(),
+            config=ServeConfig(),
+            fleet_spec=FleetSpec.parse("rram:1,ideal:1"),
+        )
+        rram_chip, ideal_chip = engine.fleet
+        assert engine.spec_for(rram_chip).sigma_total > 0.0
+        assert engine.spec_for(ideal_chip).sigma_total == 0.0
+        assert ideal_chip.variation.eps_between == 0.0
+
+    def test_mixed_fleet_deterministic_from_seed(self, served_model):
+        model, dataset = served_model
+        ids = [f"r{i:03d}" for i in range(12)]
+
+        def run():
+            engine = InferenceEngine(
+                model,
+                VariabilitySpec.null(),
+                config=ServeConfig(max_batch=4, max_wait=1, seed=9),
+                fleet_spec=FleetSpec.parse("rram:2,mram:1"),
+            )
+            return engine.run(dataset.images[:12], ids=ids)
+
+        first, second = run(), run()
+        assert all(np.array_equal(first[rid], second[rid]) for rid in ids)
+
+    def test_technologies_produce_distinct_chips(self, served_model):
+        """rram noise differs from mram noise on the same sample."""
+        model, dataset = served_model
+        engine = InferenceEngine(
+            model,
+            VariabilitySpec.null(),
+            config=ServeConfig(max_batch=1, max_wait=0, seed=2),
+            fleet_spec=FleetSpec.parse("rram:1,ideal:1"),
+        )
+        out = engine.run(np.stack([dataset.images[0]] * 2), ids=["a", "b"])
+        assert engine.assignments()["a"] != engine.assignments()["b"]
+        assert not np.array_equal(out["a"], out["b"])
 
 
 class TestTelemetry:

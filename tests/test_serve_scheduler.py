@@ -6,6 +6,7 @@ from repro.serve.engine import FleetChip
 from repro.serve.scheduler import (
     POLICIES,
     AccuracyWeightedPolicy,
+    DriftAwarePolicy,
     LeastLoadedPolicy,
     RoundRobinPolicy,
     make_policy,
@@ -37,12 +38,15 @@ def _serve(policy, chips, batches, batch_size=8):
 
 class TestRegistry:
     def test_registry_names(self):
-        assert set(POLICIES) == {"round-robin", "least-loaded", "accuracy-weighted"}
+        assert set(POLICIES) == {
+            "round-robin", "least-loaded", "accuracy-weighted", "drift-aware",
+        }
 
     def test_make_policy(self):
         assert isinstance(make_policy("round-robin"), RoundRobinPolicy)
         assert isinstance(make_policy("least-loaded"), LeastLoadedPolicy)
         assert isinstance(make_policy("accuracy-weighted"), AccuracyWeightedPolicy)
+        assert isinstance(make_policy("drift-aware"), DriftAwarePolicy)
 
     def test_unknown_policy_rejected(self):
         with pytest.raises(KeyError):
@@ -104,3 +108,62 @@ class TestAccuracyWeighted:
         chips = _fleet(2, qualities=[0.0, 0.0])
         trace = _serve(AccuracyWeightedPolicy(), chips, 4, batch_size=1)
         assert trace == ["chip00", "chip01", "chip00", "chip01"]
+
+
+class TestDriftAware:
+    def test_degraded_chip_gets_no_traffic(self):
+        """Greedy accuracy-first: a measurably worse chip is starved."""
+        chips = _fleet(3, qualities=[0.95, 0.6, 0.94])
+        _serve(DriftAwarePolicy(), chips, 30, batch_size=1)
+        assert chips[1].served_samples == 0
+        assert chips[0].served_samples > 0 and chips[2].served_samples > 0
+
+    def test_near_equal_chips_balance_least_loaded(self):
+        chips = _fleet(4)  # quality=None on every chip => all weight 1.0
+        _serve(DriftAwarePolicy(), chips, 16, batch_size=1)
+        assert {chip.served_samples for chip in chips} == {4}
+
+    def test_tie_margin_groups_close_qualities(self):
+        chips = _fleet(2, qualities=[0.900, 0.895])  # inside the 0.01 margin
+        _serve(DriftAwarePolicy(), chips, 10, batch_size=1)
+        assert chips[0].served_samples == chips[1].served_samples == 5
+
+    def test_age_discounts_stale_quality(self):
+        chips = _fleet(2, qualities=[0.9, 0.7])
+        chips[0].age = 50.0  # great quality signal, but measured long ago
+        _serve(DriftAwarePolicy(age_discount=0.5), chips, 40, batch_size=1)
+        assert chips[0].served_samples == 0
+        assert chips[1].served_samples == 40
+
+    def test_recalibrated_chip_regains_traffic(self):
+        chips = _fleet(2, qualities=[0.8, 0.8])
+        chips[0].age = 30.0
+        policy = DriftAwarePolicy(age_discount=0.5)
+        _serve(policy, chips, 20, batch_size=1)
+        assert chips[0].served_samples == 0  # stale: starved
+        chips[0].age = 0.0  # lifecycle recalibrated it
+        _serve(policy, chips, 20, batch_size=1)
+        assert chips[0].served_samples == 20  # catches back up to its peer
+
+    def test_quality_recovery_restores_traffic(self):
+        chips = _fleet(2, qualities=[0.5, 0.9])
+        policy = DriftAwarePolicy()
+        _serve(policy, chips, 10, batch_size=1)
+        assert chips[0].served_samples == 0
+        chips[0].quality = 0.9  # recalibration probe restored it
+        _serve(policy, chips, 10, batch_size=1)
+        assert chips[0].served_samples == 10
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DriftAwarePolicy(age_discount=-0.1)
+        with pytest.raises(ValueError):
+            DriftAwarePolicy(tie_margin=-0.01)
+
+    def test_deterministic_trace(self):
+        def run():
+            chips = _fleet(3, qualities=[0.7, 0.5, 0.6])
+            chips[1].age = 5.0
+            return _serve(DriftAwarePolicy(), chips, 20)
+
+        assert run() == run()

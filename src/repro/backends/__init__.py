@@ -1,0 +1,46 @@
+"""``repro.backends`` — one chip-programming API for every fidelity.
+
+A :class:`ChipBackend` turns (golden model, sampled chip variation) into a
+:class:`ProgrammedChip` the serving and experiment layers can ``forward``
+through, ``refresh`` under drift, and ``cost`` per dispatched batch:
+
+* ``"fake-quant"`` (:class:`FakeQuantBackend`) — the fast training-fidelity
+  path: a structure-shared model replica with epsilon injected into the
+  fake-quant forward;
+* ``"circuit"`` (:class:`CircuitBackend`) — the hardware-fidelity path: a
+  :class:`~repro.pim.chip.PimChip` with the model lowered onto differential
+  crossbar tiles behind DAC/ADC converters.
+
+Both program the *same physical chip* from the same
+:class:`~repro.variability.sampler.ChipVariation` (layer-keyed epsilon), so
+with an ideal ADC their outputs agree — fleets can be served, probed, and
+recalibrated at either fidelity interchangeably.
+"""
+
+from repro.backends.base import (
+    BACKENDS,
+    ChipBackend,
+    ProgrammedChip,
+    make_backend,
+    register_backend,
+)
+from repro.backends.circuit import CircuitBackend, CircuitChip, layer_epsilon
+from repro.backends.fakequant import (
+    FakeQuantBackend,
+    FakeQuantChip,
+    replicate_for_programming,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ChipBackend",
+    "ProgrammedChip",
+    "make_backend",
+    "register_backend",
+    "FakeQuantBackend",
+    "FakeQuantChip",
+    "replicate_for_programming",
+    "CircuitBackend",
+    "CircuitChip",
+    "layer_epsilon",
+]

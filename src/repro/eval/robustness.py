@@ -67,6 +67,14 @@ def evaluate_clean(model, dataset: ArrayDataset, batch_size: int = 64) -> float:
     return _dataset_accuracy(model, dataset, batch_size)
 
 
+def _programmed_accuracy(programmed, dataset: ArrayDataset, batch_size: int) -> float:
+    correct = 0
+    for inputs, targets in batch_iterator(dataset, batch_size, shuffle=False):
+        logits = programmed.forward(inputs)
+        correct += int((logits.argmax(axis=-1) == targets).sum())
+    return correct / len(dataset)
+
+
 def evaluate_robustness(
     model,
     dataset: ArrayDataset,
@@ -74,23 +82,42 @@ def evaluate_robustness(
     num_chips: int = 50,
     batch_size: int = 64,
     seed: int = 1234,
+    backend=None,
+    self_tuning=None,
 ) -> RobustnessResult:
     """Mean accuracy over ``num_chips`` independently sampled chips.
 
-    For each chip the full variability vector (shared eps_B + per-cell
-    eps_W) is installed on the model's quantized layers, the test set is
-    evaluated, and the variation is removed again.  Self-tuning modules, if
-    attached, see the chip through ``layer.current_chip`` and correct
-    accordingly.
+    Without a ``backend``, each chip's variability vector (shared eps_B +
+    per-cell eps_W) is installed on the model's quantized layers in place,
+    the test set is evaluated, and the variation is removed again —
+    self-tuning modules, if attached, see the chip through
+    ``layer.current_chip`` and correct accordingly.
+
+    With a ``backend`` (a :class:`repro.backends.ChipBackend`), each chip
+    is instead *programmed* through it — the exact objects the serving
+    engine dispatches to — so experiments measure whichever fidelity
+    (fake-quant replica or circuit-level ``PimChip``) deployment will use;
+    ``self_tuning`` is then handed to the backend rather than pre-attached.
+    The fake-quant backend reproduces the in-place path bit-for-bit (same
+    sampler, same per-layer epsilon draws, same forward).
     """
     model.eval()
     sampler = VariabilitySampler(spec, seed=seed)
     result = RobustnessResult()
-    for _ in range(num_chips):
+    for index in range(num_chips):
         chip = sampler.sample_chip()
-        inject_variation(model, chip, spec)
-        result.accuracies.append(_dataset_accuracy(model, dataset, batch_size))
+        if backend is not None:
+            programmed = backend.program(
+                model, chip, spec=spec, chip_id=f"mc{index:04d}", self_tuning=self_tuning
+            )
+            result.accuracies.append(
+                _programmed_accuracy(programmed, dataset, batch_size)
+            )
+        else:
+            inject_variation(model, chip, spec)
+            result.accuracies.append(_dataset_accuracy(model, dataset, batch_size))
         if spec.sigma_between > 0.0:
             result.eps_between.append(chip.eps_between)
-    clear_variation(model)
+    if backend is None:
+        clear_variation(model)
     return result

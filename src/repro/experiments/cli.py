@@ -13,6 +13,8 @@ Examples::
         --max-batch 32 --policy least-loaded --skip-training
     python -m repro.experiments serve-bench --drift --policy accuracy-weighted \\
         --fleet rram:2,flash:2 --trace bursty --skip-training
+    python -m repro.experiments serve-bench --backend circuit --num-chips 2 \\
+        --requests 48 --skip-training
     python -m repro.experiments lifetime-bench --fleet rram:2,flash:2 \\
         --requests 192 --skip-training
 
@@ -34,6 +36,7 @@ import time
 
 import numpy as np
 
+from repro.backends import BACKENDS
 from repro.eval.statistics import summarize
 from repro.experiments.configs import EXPERIMENT_SCALES, MethodConfig, WORKLOADS
 from repro.experiments.runner import METHODS, run_method
@@ -111,6 +114,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--gtm-cells", type=int, default=1000)
         sub.add_argument("--ltm-columns", type=int, default=1)
+        sub.add_argument(
+            "--backend",
+            choices=sorted(BACKENDS),
+            default="fake-quant",
+            help="chip-programming fidelity for the Monte Carlo evaluation "
+            "(fake-quant replicas, or circuit-level PimChips)",
+        )
         sub.add_argument("--results-dir", default="results")
         sub.add_argument(
             "--accuracy-spec",
@@ -144,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--gtm-cells", type=int, default=1000)
         sub.add_argument("--ltm-columns", type=int, default=1)
+        sub.add_argument(
+            "--backend",
+            choices=sorted(BACKENDS),
+            default="fake-quant",
+            help="how fleet chips are realized: fake-quant replicas or "
+            "circuit-level PimChips (DAC -> crossbar MVM -> ADC)",
+        )
         sub.add_argument("--num-chips", type=_positive_int, default=4)
         sub.add_argument(
             "--policy", choices=sorted(SERVE_POLICIES), default=default_policy
@@ -243,6 +260,12 @@ def _specs(args) -> tuple[VariabilitySpec, VariabilitySpec]:
 def _self_tuning(args) -> SelfTuningConfig | None:
     if args.self_tuning == "none":
         return None
+    if getattr(args, "backend", "fake-quant") == "circuit":
+        raise SystemExit(
+            "error: --self-tuning is not available on --backend circuit yet "
+            "(the circuit backend has no GTM/LTM columns); "
+            "use --backend fake-quant for self-tuned fleets"
+        )
     return SelfTuningConfig(
         kind=args.self_tuning,
         gtm_cells=args.gtm_cells,
@@ -273,6 +296,7 @@ def _record(result, args, method: str) -> dict:
         "variance_model": args.variance_model,
         "scale": args.scale,
         "self_tuning": args.self_tuning,
+        "backend": getattr(args, "backend", "fake-quant"),
         "clean_accuracy": result.clean_accuracy,
         "summary": summary,
         "accuracies": result.robustness.accuracies,
@@ -292,6 +316,7 @@ def _run_one(args, method: str):
         EXPERIMENT_SCALES[args.scale],
         MethodConfig(n_variation_samples=args.samples, seed=args.seed),
         self_tuning=_self_tuning(args),
+        backend=args.backend,
     )
 
 
@@ -302,6 +327,7 @@ def _cmd_list() -> int:
     print("scenarios: within (Sec. IV-A), mixed (Sec. IV-B)")
     print("variance:  weight-proportional, layer-fixed")
     print("policies:  " + ", ".join(sorted(SERVE_POLICIES)) + " (serve-bench)")
+    print("backends:  " + ", ".join(sorted(BACKENDS)) + " (chip programming)")
     return 0
 
 
@@ -471,6 +497,7 @@ def _drift_serving_run(model, test, eval_spec, args, policy: str) -> dict:
         cache_capacity=args.cache_capacity,
         seed=args.seed,
         self_tuning=_self_tuning(args),
+        backend=args.backend,
     )
     engine = InferenceEngine(
         model, eval_spec, args.num_chips, config,
@@ -527,6 +554,7 @@ def _drift_record(args, runs: list[dict]) -> dict:
     return {
         "model": args.model,
         "notation": args.notation,
+        "backend": args.backend,
         "fleet": args.fleet or "rram:2,flash:2",
         "trace": args.trace or "uniform",
         "trace_rate": args.trace_rate,
@@ -559,16 +587,18 @@ def _cmd_serve_bench_drift(args) -> int:
         [run["policy"], f"{100 * run['accuracy']:.1f}",
          f"{100 * run['end_accuracy']:.1f}", run["recalibrations"],
          f"{run['engine'].telemetry.queue_ticks.max:.0f}",
+         f"{run['engine'].telemetry.total_energy_uj:.1f}",
          f"{args.requests / run['seconds']:.1f}"]
         for run in runs
     ]
     print(
         format_table(
-            ["policy", "accuracy %", "end-of-trace %", "recals", "queue max", "req/s"],
+            ["policy", "accuracy %", "end-of-trace %", "recals", "queue max",
+             "energy uJ", "req/s"],
             rows,
             title=(
                 f"serve-bench --drift {args.model}/{args.notation} "
-                f"fleet={args.fleet or 'rram:2,flash:2'} "
+                f"backend={args.backend} fleet={args.fleet or 'rram:2,flash:2'} "
                 f"trace={args.trace or 'uniform'} nu={args.drift_nu}"
             ),
         )
@@ -602,17 +632,18 @@ def _cmd_lifetime_bench(args) -> int:
         [run["policy"], f"{100 * run['accuracy']:.1f}",
          f"{100 * run['end_accuracy']:.1f}", run["recalibrations"],
          f"{run['engine'].telemetry.queue_ticks.mean:.2f}",
-         f"{run['engine'].telemetry.queue_ticks.max:.0f}"]
+         f"{run['engine'].telemetry.queue_ticks.max:.0f}",
+         f"{run['engine'].telemetry.total_energy_uj:.1f}"]
         for run in runs
     ]
     print(
         format_table(
             ["policy", "accuracy %", "end-of-trace %", "recals",
-             "queue mean", "queue max"],
+             "queue mean", "queue max", "energy uJ"],
             rows,
             title=(
                 f"lifetime-bench {args.model}/{args.notation} "
-                f"fleet={args.fleet or 'rram:2,flash:2'} "
+                f"backend={args.backend} fleet={args.fleet or 'rram:2,flash:2'} "
                 f"trace={args.trace or 'uniform'} {args.drift_kind} drift"
             ),
         )
@@ -644,12 +675,13 @@ def _cmd_serve_bench(args) -> int:
             cache_capacity=args.cache_capacity,
             seed=args.seed,
             self_tuning=_self_tuning(args),
+            backend=args.backend,
         )
         engine = InferenceEngine(
             model, eval_spec, args.num_chips, config, fleet_spec=_fleet_spec(args)
         )
         engine.warm_up()  # program outside the timed region
-        if args.policy in ("accuracy-weighted", "drift-aware"):
+        if args.policy in ("accuracy-weighted", "drift-aware", "energy-aware"):
             engine.probe_fleet(test, k=args.probe_k)
         started = time.perf_counter()
         if args.trace is not None:
@@ -678,7 +710,8 @@ def _cmd_serve_bench(args) -> int:
             rows,
             title=(
                 f"serve-bench {args.model}/{args.notation} sigma={args.sigma} "
-                f"{args.scenario}, {args.num_chips} chips, policy={args.policy}"
+                f"{args.scenario}, {args.num_chips} chips, "
+                f"backend={args.backend}, policy={args.policy}"
             ),
         )
     )
@@ -696,6 +729,7 @@ def _cmd_serve_bench(args) -> int:
             "notation": args.notation,
             "sigma": args.sigma,
             "scenario": args.scenario,
+            "backend": args.backend,
             "policy": args.policy,
             "num_chips": args.num_chips,
             "max_batch": args.max_batch,

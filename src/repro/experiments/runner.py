@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backends import ChipBackend, make_backend
 from repro.datasets.loaders import batch_source
 from repro.eval.robustness import RobustnessResult, evaluate_clean, evaluate_robustness
 from repro.experiments.configs import (
@@ -100,12 +101,22 @@ def run_method(
     scale: ExperimentScale,
     method_config: MethodConfig = MethodConfig(),
     self_tuning: SelfTuningConfig | None = None,
+    backend: str | ChipBackend | None = "fake-quant",
 ) -> MethodResult:
-    """Train + Monte-Carlo evaluate one method; optionally with self-tuning."""
+    """Train + Monte-Carlo evaluate one method; optionally with self-tuning.
+
+    Evaluation programs each Monte-Carlo chip through ``backend`` — the
+    same :class:`repro.backends.ChipBackend` objects the serving engine
+    uses, so experiment numbers and served numbers cannot drift apart.
+    The default fake-quant backend is bit-identical to the historical
+    in-place injection path; pass ``"circuit"`` to score the method on
+    crossbar-level hardware, or ``None`` for the legacy in-place path.
+    """
     model, test = train_method(
         method, model_name, workload, qconfig, train_spec, scale, method_config
     )
-    if self_tuning is not None:
+    chip_backend = make_backend(backend) if backend is not None else None
+    if chip_backend is None and self_tuning is not None:
         attach_self_tuning(model, self_tuning)
     clean = evaluate_clean(model, test, batch_size=scale.batch_size)
     robustness = evaluate_robustness(
@@ -115,8 +126,10 @@ def run_method(
         num_chips=scale.num_chips,
         batch_size=scale.batch_size,
         seed=4321 + method_config.seed,
+        backend=chip_backend,
+        self_tuning=self_tuning,
     )
-    if self_tuning is not None:
+    if chip_backend is None and self_tuning is not None:
         detach_self_tuning(model)
     return MethodResult(
         method=method,
@@ -126,6 +139,7 @@ def run_method(
         eval_spec=eval_spec,
         clean_accuracy=clean,
         robustness=robustness,
+        extras={"backend": chip_backend.name if chip_backend is not None else "in-place"},
     )
 
 
@@ -138,6 +152,7 @@ def run_method_suite(
     eval_spec: VariabilitySpec,
     scale: ExperimentScale,
     method_config: MethodConfig = MethodConfig(),
+    backend: str | ChipBackend | None = "fake-quant",
 ) -> dict[str, MethodResult]:
     """Run several methods on the same workload/spec (one table column)."""
     return {
@@ -150,6 +165,7 @@ def run_method_suite(
             eval_spec,
             scale,
             method_config,
+            backend=backend,
         )
         for method in methods
     }

@@ -72,14 +72,33 @@ class _MappedLayer:
             self.tiles.append((tile, array))
         self.program(None, None)
 
-    def program(self, chip: ChipVariation | None, variance_model) -> None:
-        """(Re)program tiles; with a chip, weights carry its variation."""
+    def program(
+        self,
+        chip: ChipVariation | None,
+        variance_model,
+        eps: np.ndarray | None = None,
+    ) -> None:
+        """(Re)program tiles; with a chip, weights carry its variation.
+
+        ``eps`` (shape ``(d_in, d_out)``) overrides the chip's per-tile
+        epsilon draws with an externally supplied full-layer pattern — the
+        hook :class:`repro.backends.CircuitBackend` uses to install the
+        *same* physical variation the fake-quant path draws per layer name,
+        so both fidelities realize one and the same chip.
+        """
+        if eps is not None and eps.shape != (self.d_in, self.d_out):
+            raise ValueError(
+                f"eps shape {eps.shape} does not match codes {(self.d_in, self.d_out)}"
+            )
         for tile, array in self.tiles:
             block = self.codes[tile.row_start : tile.row_stop, tile.col_start : tile.col_stop]
             logical = block * self.weight_scale
-            if chip is not None:
-                eps = chip.epsilon_for(array.key, logical.shape)
-                logical = logical + variance_model.reparameterize_data(eps, logical)
+            if eps is not None:
+                tile_eps = eps[tile.row_start : tile.row_stop, tile.col_start : tile.col_stop]
+                logical = logical + variance_model.reparameterize_data(tile_eps, logical)
+            elif chip is not None:
+                tile_eps = chip.epsilon_for(array.key, logical.shape)
+                logical = logical + variance_model.reparameterize_data(tile_eps, logical)
             positive, negative = self.mapping.to_differential(logical / self.weight_scale)
             array.program(interleave_differential(positive, negative))
 
@@ -178,6 +197,7 @@ class PimChip:
         dac: DAC | None = None,
         adc: ADC | None = None,
         seed: int = 0,
+        variation: ChipVariation | None = None,
     ) -> None:
         self.spec = spec
         self.array_rows = array_rows
@@ -185,10 +205,17 @@ class PimChip:
         self.dac = dac or DAC()
         self.adc = adc or ADC(ideal=True)
         self.mapping = ConductanceMapping()
-        self.variation = VariabilitySampler(spec, seed=seed).sample_chip()
+        # An externally sampled variation pins this chip to an already-known
+        # physical instance (fleet serving samples chips up front); without
+        # one the chip samples its own, as before.
+        self.variation = (
+            variation
+            if variation is not None
+            else VariabilitySampler(spec, seed=seed).sample_chip()
+        )
         self.layers: dict[str, _MappedLayer] = {}
 
-    def _deploy(self, cls, qlayer, name: str):
+    def _deploy(self, cls, qlayer, name: str, eps: np.ndarray | None = None):
         mapped = cls(
             qlayer,
             self.array_rows,
@@ -198,18 +225,24 @@ class PimChip:
             self.mapping,
             key=name,
         )
-        if not self.spec.is_null:
+        if eps is not None:
+            mapped.program(None, self.spec.variance_model, eps=eps)
+        elif not self.spec.is_null:
             mapped.program(self.variation, self.spec.variance_model)
         self.layers[name] = mapped
         return mapped
 
-    def deploy_linear(self, qlayer: QuantLinear, name: str) -> MappedLinear:
+    def deploy_linear(
+        self, qlayer: QuantLinear, name: str, eps: np.ndarray | None = None
+    ) -> MappedLinear:
         """Program a quantized linear layer onto this chip's arrays."""
-        return self._deploy(MappedLinear, qlayer, name)
+        return self._deploy(MappedLinear, qlayer, name, eps=eps)
 
-    def deploy_conv2d(self, qlayer: QuantConv2d, name: str) -> MappedConv2d:
+    def deploy_conv2d(
+        self, qlayer: QuantConv2d, name: str, eps: np.ndarray | None = None
+    ) -> MappedConv2d:
         """Program a quantized conv layer onto this chip's arrays."""
-        return self._deploy(MappedConv2d, qlayer, name)
+        return self._deploy(MappedConv2d, qlayer, name, eps=eps)
 
     def gtm_read(self, num_cells: int, w_g: float = 1.0, x_g: float = 1.0) -> float:
         """Physically measure eps_B with a reference column (Fig. 3, left).
@@ -256,31 +289,39 @@ class _ChipLayerModule(Module):
         return f"ChipLayer({self.mapped.qlayer!r})"
 
 
-def deploy_model(model, chip: PimChip):
+def deploy_model(model, chip: PimChip, eps_for=None):
     """Deploy every quantized layer of ``model`` onto ``chip``, in place.
 
     Each :class:`QuantLinear`/:class:`QuantConv2d` submodule is replaced by
     an adapter that routes its forward pass through the chip's crossbar
     tiles (inference only — the adapters build no autograd graph).  Returns
-    the list of deployed layer names.
+    the list of deployed layer names — the layers' dotted module paths, the
+    same keys :func:`repro.variability.injection.inject_variation` uses, so
+    the two fidelities agree on what "one layer" means.
+
+    ``eps_for(path, qlayer)`` optionally supplies a full-layer epsilon
+    matrix (``(d_in, d_out)``) per deployed layer, overriding the chip's
+    own per-tile draws (see :meth:`_MappedLayer.program`).
 
     The surrounding digital layers (BN, pooling, activations) keep running
     in float, matching the usual mixed-signal deployment.
     """
     deployed = []
 
-    def convert(module):
+    def convert(module, prefix):
         for name, child in list(module._modules.items()):
-            path = f"{module.__class__.__name__}.{name}.{len(deployed)}"
+            path = prefix + name
             if isinstance(child, QuantConv2d):
-                adapter = _ChipLayerModule(chip.deploy_conv2d(child, path))
+                eps = eps_for(path, child) if eps_for is not None else None
+                adapter = _ChipLayerModule(chip.deploy_conv2d(child, path, eps=eps))
             elif isinstance(child, QuantLinear):
-                adapter = _ChipLayerModule(chip.deploy_linear(child, path))
+                eps = eps_for(path, child) if eps_for is not None else None
+                adapter = _ChipLayerModule(chip.deploy_linear(child, path, eps=eps))
             else:
-                convert(child)
+                convert(child, path + ".")
                 continue
             setattr(module, name, adapter)
             deployed.append(path)
 
-    convert(model)
+    convert(model, "")
     return deployed

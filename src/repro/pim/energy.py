@@ -71,6 +71,23 @@ class CostReport:
     def energy_uj(self) -> float:
         return self.energy_pj * 1e-6
 
+    def scaled(self, count: int) -> "CostReport":
+        """Costs of ``count`` back-to-back inferences through this deployment.
+
+        Energy, latency, and event counts scale with activity; area is the
+        hardware footprint and does not.  The per-layer breakdown is not
+        carried over (it describes one inference).
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return CostReport(
+            energy_pj=self.energy_pj * count,
+            latency_ns=self.latency_ns * count,
+            area_um2=self.area_um2,
+            adc_conversions=self.adc_conversions * count,
+            array_reads=self.array_reads * count,
+        )
+
     def add(self, other: "CostReport", name: str) -> None:
         self.energy_pj += other.energy_pj
         self.latency_ns += other.latency_ns

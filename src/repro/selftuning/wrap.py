@@ -15,7 +15,9 @@ def attach_self_tuning(model, config: SelfTuningConfig) -> SelfTuner:
     """Install one shared :class:`SelfTuner` on every quantized layer.
 
     Returns the tuner so callers can inspect the GTM estimate, swap
-    configurations, etc.
+    configurations, etc.  Reprogramming cycles may attach a fresh tuner
+    freely: the physically-fixed measurements (GTM/LTM reads) are cached
+    on the chip object, not the tuner, so corrections stay reproducible.
     """
     tuner = SelfTuner(config)
     for name, layer in quantized_layers(model):

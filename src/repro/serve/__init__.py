@@ -1,10 +1,11 @@
 """``repro.serve`` — batched multi-chip inference serving.
 
 Deployment-scale counterpart of the single-chip evaluation utilities: a
-pool of sampled chips (each with its own programmed, optionally
-self-tuned mapping), dynamic micro-batching of single-sample requests,
-pluggable fleet scheduling, an LRU mapping cache, and streaming
-telemetry.  On top of the static fleet, :mod:`repro.serve.lifecycle`
+pool of sampled chips (each programmed through a pluggable
+:mod:`repro.backends` fidelity — fake-quant replica or circuit-level
+``PimChip`` — optionally self-tuned), dynamic micro-batching of
+single-sample requests, pluggable fleet scheduling, an LRU mapping cache,
+and streaming telemetry.  On top of the static fleet, :mod:`repro.serve.lifecycle`
 drives drift aging, quality monitoring, and recalibration-triggered
 cache invalidation over mixed-technology fleets
 (:class:`~repro.serve.engine.FleetSpec`), and :mod:`repro.serve.trace`
@@ -14,6 +15,14 @@ supplies Poisson/bursty/replayed arrival traces.  See
 end-to-end tours.
 """
 
+from repro.backends import (
+    BACKENDS,
+    ChipBackend,
+    CircuitBackend,
+    FakeQuantBackend,
+    ProgrammedChip,
+    make_backend,
+)
 from repro.serve.batcher import Batch, MicroBatcher, Request
 from repro.serve.cache import CacheStats, MappingCache, mapping_key
 from repro.serve.engine import (
@@ -29,6 +38,7 @@ from repro.serve.scheduler import (
     POLICIES,
     AccuracyWeightedPolicy,
     DriftAwarePolicy,
+    EnergyAwarePolicy,
     LeastLoadedPolicy,
     RoundRobinPolicy,
     SchedulingPolicy,
@@ -46,6 +56,13 @@ from repro.serve.trace import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "ChipBackend",
+    "ProgrammedChip",
+    "FakeQuantBackend",
+    "CircuitBackend",
+    "make_backend",
+    "EnergyAwarePolicy",
     "InferenceEngine",
     "ServeConfig",
     "FleetChip",

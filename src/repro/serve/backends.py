@@ -1,0 +1,35 @@
+"""Compatibility shim: the backend API lives in :mod:`repro.backends`.
+
+The chip-programming protocol started life inside the serving package;
+it now serves the experiment runner too, so it moved up to
+``repro.backends``.  This module keeps ``repro.serve.backends`` imports
+working — new code should import from :mod:`repro.backends` directly.
+"""
+
+from repro.backends import (  # noqa: F401
+    BACKENDS,
+    ChipBackend,
+    CircuitBackend,
+    CircuitChip,
+    FakeQuantBackend,
+    FakeQuantChip,
+    ProgrammedChip,
+    layer_epsilon,
+    make_backend,
+    register_backend,
+    replicate_for_programming,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ChipBackend",
+    "CircuitBackend",
+    "CircuitChip",
+    "FakeQuantBackend",
+    "FakeQuantChip",
+    "ProgrammedChip",
+    "layer_epsilon",
+    "make_backend",
+    "register_backend",
+    "replicate_for_programming",
+]

@@ -20,9 +20,21 @@ from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
 
-def mapping_key(model_key: str, qconfig_notation: str, chip_id: str) -> tuple:
-    """Canonical cache key for one programmed mapping."""
-    return (str(model_key), str(qconfig_notation), str(chip_id))
+def mapping_key(
+    model_key: str,
+    qconfig_notation: str,
+    chip_id: str,
+    backend: str = "fake-quant",
+) -> tuple:
+    """Canonical cache key for one programmed mapping.
+
+    The programming backend is part of the identity: a fake-quant replica
+    and a circuit-level ``PimChip`` programmed for the *same* chip are
+    different artifacts, and a mixed-backend engine must never serve one
+    where the other was requested.  ``chip_id`` stays the last element —
+    lifecycle invalidation selects on ``key[-1]`` across all backends.
+    """
+    return (str(model_key), str(qconfig_notation), str(backend), str(chip_id))
 
 
 @dataclass
@@ -40,6 +52,11 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    # Misses where the same (model, qconfig, chip) *is* resident but was
+    # programmed by a different backend: the collision the backend-aware
+    # key exists to prevent.  A high count on a mixed-backend engine means
+    # the cache is effectively halved — size it per backend.
+    cross_backend_misses: int = 0
     program_seconds: float = 0.0
 
     @property
@@ -56,6 +73,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "cross_backend_misses": self.cross_backend_misses,
             "hit_rate": self.hit_rate,
             "program_seconds": self.program_seconds,
         }
@@ -97,6 +115,8 @@ class MappingCache:
             self._entries.move_to_end(key)
             return self._entries[key]
         self.stats.misses += 1
+        if self._is_cross_backend_miss(key):
+            self.stats.cross_backend_misses += 1
         import time
 
         started = time.perf_counter()
@@ -108,6 +128,23 @@ class MappingCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
         return mapping
+
+    def _is_cross_backend_miss(self, key: Hashable) -> bool:
+        """True when the missing chip is resident under another backend.
+
+        Only :func:`mapping_key`-shaped keys (4-tuples with the backend in
+        slot 2) participate; opaque keys never count.
+        """
+        if not (isinstance(key, tuple) and len(key) == 4):
+            return False
+        return any(
+            isinstance(other, tuple)
+            and len(other) == 4
+            and other[:2] == key[:2]
+            and other[3] == key[3]
+            and other[2] != key[2]
+            for other in self._entries
+        )
 
     def peek(self, key: Hashable):
         """The resident mapping for ``key`` or ``None`` — no stats, no LRU touch.

@@ -5,40 +5,39 @@ non-identical accelerators: every fabricated chip carries its own sampled
 variation, and self-tuning corrects each one individually.  The
 :class:`InferenceEngine` simulates exactly that: it samples a pool of
 chips from a :class:`~repro.variability.sampler.VariabilitySpec`, programs
-a dedicated model mapping per chip (variation injected, self-tuning
-attached — cached in an LRU :class:`~repro.serve.cache.MappingCache`),
-fuses incoming single-sample requests into crossbar-friendly batches with
-a :class:`~repro.serve.batcher.MicroBatcher`, and dispatches the batches
+a dedicated mapping per chip through a pluggable
+:class:`~repro.backends.ChipBackend` (fake-quant replica or circuit-level
+``PimChip`` — cached as :class:`~repro.backends.ProgrammedChip` objects in
+an LRU :class:`~repro.serve.cache.MappingCache`), fuses incoming
+single-sample requests into crossbar-friendly batches with a
+:class:`~repro.serve.batcher.MicroBatcher`, and dispatches the batches
 across the fleet under a pluggable
 :class:`~repro.serve.scheduler.SchedulingPolicy`.
 
 Everything is deterministic from ``ServeConfig.seed``: the same fleet,
 the same request ids, and the same arrival ticks reproduce bit-identical
 outputs — the per-row results are even invariant to batch composition,
-because the fake-quant forward treats batch rows independently.
+because both backends treat batch rows independently.
 """
 
 from __future__ import annotations
 
-import copy
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.autograd import Tensor, no_grad
+from repro.backends import ChipBackend, ProgrammedChip, make_backend
 from repro.datasets.loaders import batch_iterator
 from repro.eval.metrics import topk_accuracy
 from repro.pim.devices import device_by_name
 from repro.quant.ptq import quantized_layers
 from repro.selftuning.tuner import SelfTuningConfig
-from repro.selftuning.wrap import attach_self_tuning
 from repro.serve.batcher import Batch, MicroBatcher, Request
 from repro.serve.cache import MappingCache, mapping_key
 from repro.serve.scheduler import make_policy
 from repro.serve.telemetry import ServeTelemetry
 from repro.serve.trace import ArrivalTrace
-from repro.variability.injection import inject_variation
 from repro.variability.models import variance_model_by_name
 from repro.variability.sampler import ChipVariation, VariabilitySampler, VariabilitySpec
 
@@ -52,6 +51,11 @@ class ServeConfig:
     measures against.  ``cache_capacity=None`` keeps every chip's mapping
     resident (programmed exactly once); a smaller capacity models a host
     that cannot hold the whole fleet and must reprogram on demand.
+
+    ``backend`` selects how chips are realized: a registered
+    :mod:`repro.backends` name (``"fake-quant"``, ``"circuit"``) or a
+    configured :class:`~repro.backends.ChipBackend` instance.  A
+    ``FleetSpec.backend`` set on a heterogeneous fleet takes precedence.
     """
 
     max_batch: int = 32
@@ -60,6 +64,7 @@ class ServeConfig:
     cache_capacity: int | None = None
     seed: int = 0
     self_tuning: SelfTuningConfig | None = None
+    backend: str | ChipBackend = "fake-quant"
 
 
 @dataclass(frozen=True)
@@ -103,11 +108,14 @@ class FleetSpec:
     Parsed from the CLI syntax ``"rram:2,flash:2"`` (optionally
     ``rram:2@0.5`` to scale the preset sigma).  Chip ids carry the
     technology (``rram00``, ``flash02``, …) so telemetry and cache keys
-    stay self-describing.
+    stay self-describing.  ``backend`` optionally pins how this fleet's
+    chips are realized (a :mod:`repro.backends` name or instance),
+    overriding the engine-wide ``ServeConfig.backend``.
     """
 
     groups: tuple[TechnologyGroup, ...]
     scenario: str = "mixed"
+    backend: str | ChipBackend | None = None
 
     def __post_init__(self) -> None:
         if not self.groups:
@@ -118,7 +126,9 @@ class FleetSpec:
         return sum(group.count for group in self.groups)
 
     @classmethod
-    def parse(cls, text: str, scenario: str = "mixed") -> "FleetSpec":
+    def parse(
+        cls, text: str, scenario: str = "mixed", backend: str | ChipBackend | None = None
+    ) -> "FleetSpec":
         """Parse ``"rram:2,flash:2"`` / ``"rram:4@0.5"`` into a spec."""
         groups = []
         for part in text.split(","):
@@ -133,7 +143,7 @@ class FleetSpec:
             except ValueError as error:
                 raise ValueError(f"bad fleet group {part!r}: {error}") from None
             groups.append(TechnologyGroup(device.strip(), count, scale))
-        return cls(tuple(groups), scenario=scenario)
+        return cls(tuple(groups), scenario=scenario, backend=backend)
 
 
 @dataclass
@@ -146,6 +156,9 @@ class FleetChip:
     ``recalibrations`` counts lifecycle recalibration events — both stay at
     their defaults on static fleets and are maintained by
     :class:`~repro.serve.lifecycle.ChipLifecycle` on drifting ones.
+    ``energy_uj`` accumulates the estimated physical energy of every batch
+    dispatched to this chip (zero when the backend has no cost estimator)
+    — the signal the ``energy-aware`` policy reads.
     """
 
     index: int
@@ -159,6 +172,7 @@ class FleetChip:
     age: float = 0.0
     recalibrations: int = 0
     mapping_stale: bool = False
+    energy_uj: float = 0.0
 
     def __repr__(self) -> str:
         quality = f"{self.quality:.3f}" if self.quality is not None else "unprobed"
@@ -184,7 +198,8 @@ class InferenceEngine:
     ``model`` must already be converted (:func:`repro.quant.convert_to_quantized`)
     and calibrated (:func:`repro.quant.calibrate_model`); it is treated as
     the golden digital copy and never mutated — per-chip mappings are
-    programmed onto deep copies.
+    programmed through the configured :class:`~repro.backends.ChipBackend`
+    onto structure-shared replicas (fake-quant) or crossbar tiles (circuit).
 
     Typical use::
 
@@ -212,6 +227,10 @@ class InferenceEngine:
         self.config = config
         self.model_key = model_key or model.__class__.__name__
         self._notation = self._validate_model(model)
+        backend = config.backend
+        if fleet_spec is not None and fleet_spec.backend is not None:
+            backend = fleet_spec.backend
+        self.backend = make_backend(backend)
         self.fleet_spec = fleet_spec
         if fleet_spec is None:
             sampler = VariabilitySampler(spec, seed=config.seed)
@@ -270,21 +289,23 @@ class InferenceEngine:
                 )
         return layers[0].qconfig.notation
 
-    def _program(self, chip: FleetChip):
-        """Build the chip's mapping: replicate, inject variation, self-tune.
+    def _program(self, chip: FleetChip) -> ProgrammedChip:
+        """Write the chip through the backend: the expensive step the
+        mapping cache amortizes.
 
-        This is the expensive 'write the crossbars' step the mapping cache
-        amortizes; per-layer epsilon draws are cached inside the
+        Per-layer epsilon draws are cached inside the
         :class:`ChipVariation`, so reprogramming after an eviction
-        reproduces the exact same physical chip.
+        reproduces the exact same physical chip — on either backend.
         """
-        mapping = copy.deepcopy(self.model)
-        mapping.eval()
-        inject_variation(mapping, chip.variation, self.spec_for(chip))
-        if self.config.self_tuning is not None:
-            attach_self_tuning(mapping, self.config.self_tuning)
+        programmed = self.backend.program(
+            self.model,
+            chip.variation,
+            spec=self.spec_for(chip),
+            chip_id=chip.chip_id,
+            self_tuning=self.config.self_tuning,
+        )
         chip.mapping_stale = False  # programmed from the chip's current state
-        return mapping
+        return programmed
 
     def spec_for(self, chip: FleetChip) -> VariabilitySpec:
         """The variability spec governing one chip (per-technology on
@@ -292,27 +313,51 @@ class InferenceEngine:
         return chip.spec if chip.spec is not None else self.spec
 
     def key_for(self, chip: FleetChip) -> tuple:
-        """The chip's mapping-cache key."""
-        return mapping_key(self.model_key, self._notation, chip.chip_id)
+        """The chip's mapping-cache key (backend identity included)."""
+        return mapping_key(
+            self.model_key, self._notation, chip.chip_id, backend=self.backend.name
+        )
 
-    def _mapping_for(self, chip: FleetChip):
-        mapping = self.cache.get_or_program(
+    def programmed_for(self, chip: FleetChip) -> ProgrammedChip:
+        """The chip's :class:`~repro.backends.ProgrammedChip`, (re)programming
+        through the cache on demand."""
+        programmed = self.cache.get_or_program(
             self.key_for(chip), lambda: self._program(chip)
         )
         if chip.mapping_stale:
             # The physical chip changed since this mapping was last installed
             # (drift advanced by the lifecycle).  Refresh in place, lazily, so
             # only chips that are actually dispatched or probed pay the
-            # re-injection cost — and without any cache traffic, because
+            # re-installation cost — and without any cache traffic, because
             # drift does not reprogram anything.
-            inject_variation(mapping, chip.variation, self.spec_for(chip))
+            programmed.refresh(chip.variation)
             chip.mapping_stale = False
-        return mapping
+        return programmed
+
+    def _mapping_for(self, chip: FleetChip):
+        """Backwards-compatible pre-backend accessor: the chip's mapping Module.
+
+        New code should use :meth:`programmed_for` and talk to the
+        :class:`~repro.backends.ProgrammedChip` protocol instead.
+        """
+        return self.programmed_for(chip).mapping
+
+    def reprogram(self, chip: FleetChip) -> int:
+        """Rewrite one chip's mapping through its owning backend.
+
+        The recalibration entry point: drops the chip's cache entry (and
+        only that entry) and programs a fresh mapping from the chip's
+        *current* variation.  Returns how many cache entries were
+        invalidated (0 when the chip was not resident).
+        """
+        invalidated = int(self.cache.invalidate(self.key_for(chip)))
+        self.programmed_for(chip)
+        return invalidated
 
     def warm_up(self) -> None:
         """Program every chip ahead of traffic (cold-start avoidance)."""
         for chip in self.fleet:
-            self._mapping_for(chip)
+            self.programmed_for(chip)
 
     def probe_fleet(
         self, dataset, k: int = 1, batch_size: int = 64
@@ -332,15 +377,14 @@ class InferenceEngine:
         self, chip: FleetChip, dataset, k: int = 1, batch_size: int = 64
     ) -> float:
         """Probe one chip's current quality and store it on the handle."""
-        with no_grad():
-            mapping = self._mapping_for(chip)
-            logits, targets = [], []
-            for inputs, labels in batch_iterator(dataset, batch_size, shuffle=False):
-                logits.append(mapping(Tensor(inputs)).data)
-                targets.append(labels)
-            chip.quality = topk_accuracy(
-                np.concatenate(logits), np.concatenate(targets), k=k
-            )
+        programmed = self.programmed_for(chip)
+        logits, targets = [], []
+        for inputs, labels in batch_iterator(dataset, batch_size, shuffle=False):
+            logits.append(programmed.forward(inputs))
+            targets.append(labels)
+        chip.quality = topk_accuracy(
+            np.concatenate(logits), np.concatenate(targets), k=k
+        )
         return chip.quality
 
     # ------------------------------------------------------------------
@@ -357,11 +401,15 @@ class InferenceEngine:
 
     def _dispatch(self, batch: Batch) -> list[ServedRequest]:
         chip = self.policy.choose(batch, self.fleet)
-        mapping = self._mapping_for(chip)
+        programmed = self.programmed_for(chip)
+        inputs = batch.inputs()
         started = time.perf_counter()
-        with no_grad():
-            outputs = mapping(Tensor(batch.inputs())).data
+        outputs = programmed.forward(inputs)
         seconds = time.perf_counter() - started
+        cost = programmed.cost(inputs.shape)
+        energy_uj = cost.energy_uj if cost is not None else None
+        if energy_uj is not None:
+            chip.energy_uj += energy_uj
         chip.served_samples += batch.size
         chip.served_batches += 1
         served = []
@@ -375,7 +423,10 @@ class InferenceEngine:
             self._completed[request.id] = done
             served.append(done)
         self.telemetry.record_batch(
-            chip.chip_id, [item.queue_ticks for item in served], seconds
+            chip.chip_id,
+            [item.queue_ticks for item in served],
+            seconds,
+            energy_uj=energy_uj,
         )
         return served
 
@@ -477,5 +528,6 @@ class InferenceEngine:
     def __repr__(self) -> str:
         return (
             f"InferenceEngine(model={self.model_key}, chips={len(self.fleet)}, "
-            f"policy={self.policy.name!r}, max_batch={self.config.max_batch})"
+            f"backend={self.backend.name!r}, policy={self.policy.name!r}, "
+            f"max_batch={self.config.max_batch})"
         )

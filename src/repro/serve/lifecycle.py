@@ -25,10 +25,11 @@ closes that loop inside the serving engine:
    its cells are rewritten back to their program-and-verify targets (the
    fabrication-time pattern is restored and the drift clock restarts with a
    fresh process), cached self-tuning measurements are discarded so the
-   next GTM read sees the recovered chip, and the chip's stale mapping is
-   *surgically* invalidated via
-   :meth:`~repro.serve.cache.MappingCache.invalidate_where` — healthy
-   chips stay resident, no fleet-wide flush.
+   next GTM read sees the recovered chip, and the chip is *surgically*
+   rewritten via :meth:`~repro.serve.engine.InferenceEngine.reprogram` —
+   its stale cache entry (and only that entry) is invalidated and the
+   chip's owning :class:`~repro.backends.ChipBackend` programs a fresh
+   mapping; healthy chips stay resident, no fleet-wide flush.
 
 Everything is deterministic from the engine seed, the lifecycle seed, and
 the trace: the same run reproduces the same recalibration schedule and the
@@ -271,8 +272,9 @@ class ChipLifecycle:
         fabrication-time target (the frozen within-chip pattern is the
         physical chip, so it comes back bit-identical), the drift clock
         restarts, and stale GTM/LTM measurements are discarded.  In the
-        serving layer: the chip's cache entry — and only that entry — is
-        invalidated, so the next dispatch programs a fresh mapping.
+        serving layer: :meth:`~repro.serve.engine.InferenceEngine.reprogram`
+        drops the chip's cache entry — and only that entry — and rewrites
+        the chip through its owning backend, whichever fidelity that is.
         """
         if quality_before is None:
             quality_before = chip.quality if chip.quality is not None else float("nan")
@@ -283,9 +285,7 @@ class ChipLifecycle:
             seed=self._drift_seed(chip, cycle=chip.recalibrations),
         )
         chip.age = 0.0
-        invalidated = self.engine.cache.invalidate_where(
-            lambda key: key[-1] == chip.chip_id
-        )
+        invalidated = self.engine.reprogram(chip)
         quality_after = self._probe(chip)
         self.engine.telemetry.record_recalibration(chip.chip_id, self.time)
         event = RecalibrationEvent(

@@ -16,7 +16,18 @@ quality), never the programmed mappings themselves.
   *current* quality estimate with an age discount (see
   :mod:`repro.serve.lifecycle`): near-equal chips are balanced
   least-loaded, measurably degraded chips get no traffic until they
-  recover — the fairness-free behaviour a drifting fleet needs.
+  recover — the fairness-free behaviour a drifting fleet needs;
+* ``energy-aware`` — among the chips whose quality estimate ties the best
+  (same contention rule as ``drift-aware``), dispatch to the one with the
+  least energy spent so far.  Energy is the per-batch
+  :meth:`repro.backends.ProgrammedChip.cost` estimate the engine
+  accumulates on each chip handle.  Today's engines program every chip
+  through one backend (one cost estimator), so per-batch costs are
+  uniform and the tie-break reduces to least-loaded among the quality
+  contenders; the ordering becomes load-bearing once fleets mix design
+  points with distinct per-batch costs (per-group backends, per-device
+  energy models) — the seed of the ROADMAP's energy-aware-scheduling
+  follow-up.
 """
 
 from __future__ import annotations
@@ -138,11 +149,56 @@ class DriftAwarePolicy(SchedulingPolicy):
         return min(contenders, key=lambda chip: (chip.served_samples, chip.index))
 
 
+class EnergyAwarePolicy(SchedulingPolicy):
+    """Cheapest-adequate dispatch: best quality first, then least energy.
+
+    Quality still gates dispatch exactly like :class:`DriftAwarePolicy`'s
+    contender rule (chips within ``tie_margin`` of the best estimate are
+    interchangeable), but ties break on *cumulative dispatched energy*
+    rather than served samples.  When every chip costs the same per batch
+    — which is the case on today's single-backend engines, where one
+    estimator prices the whole fleet — energy is proportional to served
+    samples and the ordering coincides with least-loaded; the policy pays
+    off once per-chip costs diverge (fleets mixing array sizes or ADC
+    resolutions via per-group backends, per-device energy models), where
+    traffic drains toward chips that answer at the lowest physical cost
+    without surrendering accuracy.  Chips served by a cost-less backend
+    accumulate zero energy and likewise degrade to least-loaded.
+    """
+
+    name = "energy-aware"
+
+    def __init__(self, floor: float = 1e-3, tie_margin: float = 0.01) -> None:
+        if tie_margin < 0.0:
+            raise ValueError("tie_margin must be >= 0")
+        self.floor = float(floor)
+        self.tie_margin = float(tie_margin)
+
+    def _weight(self, chip) -> float:
+        quality = chip.quality if chip.quality is not None else 1.0
+        return max(float(quality), self.floor)
+
+    def choose(self, batch, chips):
+        best = max(self._weight(chip) for chip in chips)
+        contenders = [
+            chip for chip in chips if self._weight(chip) >= best - self.tie_margin
+        ]
+        return min(
+            contenders,
+            key=lambda chip: (
+                float(getattr(chip, "energy_uj", 0.0)),
+                chip.served_samples,
+                chip.index,
+            ),
+        )
+
+
 POLICIES = {
     RoundRobinPolicy.name: RoundRobinPolicy,
     LeastLoadedPolicy.name: LeastLoadedPolicy,
     AccuracyWeightedPolicy.name: AccuracyWeightedPolicy,
     DriftAwarePolicy.name: DriftAwarePolicy,
+    EnergyAwarePolicy.name: EnergyAwarePolicy,
 }
 
 

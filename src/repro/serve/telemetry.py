@@ -21,6 +21,11 @@ class ServeTelemetry:
     * ``batch_size`` / ``occupancy`` — how full released batches are
       relative to ``max_batch``;
     * ``per_chip_samples`` — samples served by each chip (load balance);
+    * ``batch_energy_uj`` / ``per_chip_energy_uj`` — estimated physical
+      energy of each dispatched batch (from
+      :meth:`repro.backends.ProgrammedChip.cost`), total and per chip, in
+      microjoules — the signal energy-aware scheduling weighs against
+      quality;
     * ``recalibrations`` / ``quality_series`` — lifecycle events: per-chip
       recalibration counts and the probed accuracy-over-(virtual)-time
       series, which is what a drift/recovery curve is plotted from.
@@ -32,19 +37,24 @@ class ServeTelemetry:
         self.service_seconds = AverageMeter()
         self.batch_size = AverageMeter()
         self.occupancy = AverageMeter()
+        self.batch_energy_uj = AverageMeter()
         self.requests = 0
         self.batches = 0
         self.per_chip_samples: dict[str, int] = defaultdict(int)
+        self.per_chip_energy_uj: dict[str, float] = defaultdict(float)
         self.recalibrations: dict[str, int] = defaultdict(int)
         self.recalibration_events: list[tuple[float, str]] = []
         self.quality_series: dict[str, list[tuple[float, float]]] = defaultdict(list)
 
-    def record_batch(self, chip_id: str, queue_ticks, seconds: float) -> None:
+    def record_batch(
+        self, chip_id: str, queue_ticks, seconds: float, energy_uj: float | None = None
+    ) -> None:
         """Account one dispatched batch.
 
         ``queue_ticks`` is the per-request queueing delay of every request
         fused into the batch, so the latency meter sees true tails rather
-        than batch averages.
+        than batch averages.  ``energy_uj`` is the chip's estimated physical
+        cost of the batch (``None`` when the backend has no cost estimator).
         """
         size = len(queue_ticks)
         self.requests += size
@@ -55,6 +65,9 @@ class ServeTelemetry:
         for ticks in queue_ticks:
             self.queue_ticks.update(ticks)
         self.service_seconds.update(seconds)
+        if energy_uj is not None:
+            self.batch_energy_uj.update(float(energy_uj))
+            self.per_chip_energy_uj[chip_id] += float(energy_uj)
 
     def record_quality(self, chip_id: str, time: float, quality: float) -> None:
         """Append one probed quality sample to a chip's accuracy-over-time series."""
@@ -72,6 +85,16 @@ class ServeTelemetry:
     @property
     def total_service_seconds(self) -> float:
         return self.service_seconds.total
+
+    @property
+    def total_energy_uj(self) -> float:
+        """Estimated energy of all dispatched batches, in microjoules."""
+        return self.batch_energy_uj.total
+
+    @property
+    def energy_per_request_uj(self) -> float:
+        """Mean estimated energy per served request, in microjoules."""
+        return self.total_energy_uj / self.requests if self.requests else 0.0
 
     @property
     def throughput(self) -> float:
@@ -101,6 +124,12 @@ class ServeTelemetry:
                 "std": self.service_seconds.std,
             },
             "per_chip_samples": dict(self.per_chip_samples),
+            "energy_uj": {
+                "total": self.total_energy_uj,
+                "mean_per_batch": self.batch_energy_uj.mean,
+                "per_request": self.energy_per_request_uj,
+                "per_chip": dict(self.per_chip_energy_uj),
+            },
             "recalibrations": dict(self.recalibrations),
             "recalibration_events": [
                 {"time": time, "chip": chip} for time, chip in self.recalibration_events
@@ -127,6 +156,12 @@ class ServeTelemetry:
                 f"{chip}={count}" for chip, count in sorted(self.per_chip_samples.items())
             ),
         ]
+        if self.batch_energy_uj.count:
+            lines.append(
+                f"energy: total {self.total_energy_uj:.1f} uJ  "
+                f"mean {self.batch_energy_uj.mean:.1f} uJ/batch  "
+                f"{self.energy_per_request_uj:.2f} uJ/request"
+            )
         if self.recalibrations:
             lines.append(
                 "recalibrations: "

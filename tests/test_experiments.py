@@ -90,3 +90,39 @@ class TestRunnerEndToEnd:
         spec = VariabilitySpec.null()
         with pytest.raises(ValueError):
             run_method("dropout", "lenet5", "mnist", QConfig(), spec, spec, scale)
+
+    def test_backend_evaluation_matches_legacy_in_place_path(self):
+        """The fake-quant backend must reproduce the historical in-place
+        injection numbers exactly — experiments cannot drift when the
+        evaluation is re-routed through repro.backends."""
+        scale = EXPERIMENT_SCALES["tiny"]
+        spec = VariabilitySpec.within_only(0.3, WeightProportionalVariance())
+        args = ("qat", "lenet5", "mnist", QConfig.from_notation("A8W4"), spec, spec,
+                scale, MethodConfig(seed=1))
+        legacy = run_method(*args, backend=None)
+        routed = run_method(*args, backend="fake-quant")
+        assert routed.robustness.accuracies == legacy.robustness.accuracies
+        assert routed.clean_accuracy == legacy.clean_accuracy
+        assert routed.extras["backend"] == "fake-quant"
+        assert legacy.extras["backend"] == "in-place"
+
+    def test_circuit_backend_evaluation(self):
+        """Scoring a trained method on crossbar-level hardware end to end."""
+        from dataclasses import replace
+
+        scale = replace(EXPERIMENT_SCALES["tiny"], num_chips=2)
+        spec = VariabilitySpec.within_only(0.2, WeightProportionalVariance())
+        result = run_method(
+            "qat",
+            "lenet5",
+            "mnist",
+            QConfig.from_notation("A8W4"),
+            spec,
+            spec,
+            scale,
+            MethodConfig(seed=0),
+            backend="circuit",
+        )
+        assert result.extras["backend"] == "circuit"
+        assert len(result.robustness.accuracies) == 2
+        assert all(0.0 <= acc <= 1.0 for acc in result.robustness.accuracies)

@@ -38,6 +38,53 @@ class TestHitMiss:
         assert len(set(values)) == 3
         assert cache.stats.misses == 3
 
+
+class TestBackendIdentity:
+    def test_backend_is_part_of_the_key(self):
+        """The same chip programmed by two backends is two cache entries."""
+        fq = mapping_key("lenet", "A4W2", "chip00", backend="fake-quant")
+        circuit = mapping_key("lenet", "A4W2", "chip00", backend="circuit")
+        assert fq != circuit
+        cache, counter = MappingCache(), Counter()
+        first = cache.get_or_program(fq, counter.programmer(fq))
+        second = cache.get_or_program(circuit, counter.programmer(circuit))
+        assert first != second
+        assert counter.programs == [fq, circuit]
+
+    def test_chip_id_stays_last_for_lifecycle_invalidation(self):
+        """`key[-1] == chip_id` selection must keep working on both backends."""
+        cache, counter = MappingCache(), Counter()
+        for backend in ("fake-quant", "circuit"):
+            key = mapping_key("m", "q", "chip00", backend=backend)
+            cache.get_or_program(key, counter.programmer(key))
+        assert cache.invalidate_where(lambda key: key[-1] == "chip00") == 2
+
+    def test_cross_backend_miss_counted(self):
+        """A miss whose (model, qconfig, chip) is resident under the other
+        backend is the collision the backend-aware key exists to prevent."""
+        cache, counter = MappingCache(), Counter()
+        fq = mapping_key("m", "q", "chip00", backend="fake-quant")
+        circuit = mapping_key("m", "q", "chip00", backend="circuit")
+        cache.get_or_program(fq, counter.programmer(fq))
+        assert cache.stats.cross_backend_misses == 0
+        cache.get_or_program(circuit, counter.programmer(circuit))
+        assert cache.stats.cross_backend_misses == 1
+        assert cache.stats.as_dict()["cross_backend_misses"] == 1
+
+    def test_plain_misses_not_counted_as_cross_backend(self):
+        cache, counter = MappingCache(), Counter()
+        cache.get_or_program(
+            mapping_key("m", "q", "chip00"), counter.programmer("a")
+        )
+        # Different chip, same backend: an ordinary miss.
+        cache.get_or_program(
+            mapping_key("m", "q", "chip01"), counter.programmer("b")
+        )
+        # Opaque (non-mapping_key) keys never participate.
+        cache.get_or_program("opaque", counter.programmer("c"))
+        assert cache.stats.misses == 3
+        assert cache.stats.cross_backend_misses == 0
+
     def test_program_seconds_accumulate(self):
         cache, counter = MappingCache(), Counter()
         key = mapping_key("m", "A4W2", "c")

@@ -7,6 +7,7 @@ from repro.serve.scheduler import (
     POLICIES,
     AccuracyWeightedPolicy,
     DriftAwarePolicy,
+    EnergyAwarePolicy,
     LeastLoadedPolicy,
     RoundRobinPolicy,
     make_policy,
@@ -40,6 +41,7 @@ class TestRegistry:
     def test_registry_names(self):
         assert set(POLICIES) == {
             "round-robin", "least-loaded", "accuracy-weighted", "drift-aware",
+            "energy-aware",
         }
 
     def test_make_policy(self):
@@ -47,6 +49,7 @@ class TestRegistry:
         assert isinstance(make_policy("least-loaded"), LeastLoadedPolicy)
         assert isinstance(make_policy("accuracy-weighted"), AccuracyWeightedPolicy)
         assert isinstance(make_policy("drift-aware"), DriftAwarePolicy)
+        assert isinstance(make_policy("energy-aware"), EnergyAwarePolicy)
 
     def test_unknown_policy_rejected(self):
         with pytest.raises(KeyError):
@@ -165,5 +168,50 @@ class TestDriftAware:
             chips = _fleet(3, qualities=[0.7, 0.5, 0.6])
             chips[1].age = 5.0
             return _serve(DriftAwarePolicy(), chips, 20)
+
+        assert run() == run()
+
+
+class TestEnergyAware:
+    def _serve_with_energy(self, policy, chips, batches, cost_per_batch):
+        """Dispatch batches, accruing each chip's per-batch energy cost."""
+        trace = []
+        for _ in range(batches):
+            chip = policy.choose(None, chips)
+            chip.served_samples += 8
+            chip.served_batches += 1
+            chip.energy_uj += cost_per_batch[chip.index]
+            trace.append(chip.chip_id)
+        return trace
+
+    def test_cheapest_adequate_chip_wins(self):
+        """Equal quality, unequal cost: traffic drains to the cheap chip."""
+        chips = _fleet(2, qualities=[0.9, 0.9])
+        self._serve_with_energy(EnergyAwarePolicy(), chips, 24, [3.0, 1.0])
+        # chip01 serves ~3 batches for each of chip00's (cost ratio 3:1).
+        assert chips[1].served_batches >= 2.5 * chips[0].served_batches
+
+    def test_quality_still_gates_dispatch(self):
+        """A measurably degraded chip gets no traffic however cheap it is."""
+        chips = _fleet(2, qualities=[0.9, 0.5])
+        self._serve_with_energy(EnergyAwarePolicy(), chips, 10, [5.0, 0.1])
+        assert chips[1].served_samples == 0
+
+    def test_costless_backend_degrades_to_least_loaded(self):
+        """Zero accumulated energy everywhere => balance like least-loaded."""
+        chips = _fleet(4)
+        self._serve_with_energy(EnergyAwarePolicy(), chips, 16, [0.0] * 4)
+        assert {chip.served_samples for chip in chips} == {32}
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyAwarePolicy(tie_margin=-0.01)
+
+    def test_deterministic_trace(self):
+        def run():
+            chips = _fleet(3, qualities=[0.9, 0.9, 0.9])
+            return self._serve_with_energy(
+                EnergyAwarePolicy(), chips, 20, [2.0, 1.0, 3.0]
+            )
 
         assert run() == run()

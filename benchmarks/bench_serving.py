@@ -138,6 +138,13 @@ def main(argv=None) -> int:
         default="fake-quant",
         help="chip-programming fidelity the fleet serves through",
     )
+    parser.add_argument(
+        "--bench-json",
+        default="BENCH_serving.json",
+        metavar="PATH",
+        help="perf-trajectory file appended via repro.obs.BenchRecorder "
+        "(empty string disables)",
+    )
     args = parser.parse_args(argv)
     num_chips = 2 if args.smoke else NUM_CHIPS
     requests = 48 if args.smoke else REQUESTS
@@ -149,10 +156,10 @@ def main(argv=None) -> int:
         _engine(model, spec, 1, 0, num_chips=num_chips, backend=args.backend),
         workload, ids,
     )
-    batched = _timed_run(
-        _engine(model, spec, MAX_BATCH, 4, num_chips=num_chips, backend=args.backend),
-        workload, ids,
+    engine = _engine(
+        model, spec, MAX_BATCH, 4, num_chips=num_chips, backend=args.backend
     )
+    batched = _timed_run(engine, workload, ids)
     speedup = sequential / batched
     first = _engine(
         model, spec, MAX_BATCH, 4, seed=3, num_chips=num_chips, backend=args.backend
@@ -161,12 +168,52 @@ def main(argv=None) -> int:
         model, spec, MAX_BATCH, 4, seed=3, num_chips=num_chips, backend=args.backend
     ).run(workload, ids=ids)
     reproducible = all(np.array_equal(first[rid], second[rid]) for rid in ids)
+    report = engine.telemetry.report()
+    latency = report["latency"]
     print(f"fleet: {num_chips} chips, {requests} requests, max_batch={MAX_BATCH}, "
           f"backend={args.backend}")
     print(f"sequential: {requests / sequential:8.1f} samples/s")
     print(f"batched:    {requests / batched:8.1f} samples/s   speedup {speedup:.2f}x")
+    print(f"request latency ms: p50 {1e3 * latency['p50']:.2f}  "
+          f"p95 {1e3 * latency['p95']:.2f}  p99 {1e3 * latency['p99']:.2f}")
+    breakdown = engine.obs.recorder.breakdown()
+    for name in sorted(breakdown, key=lambda n: -breakdown[n]["total_s"]):
+        stats = breakdown[name]
+        print(f"  {name:<16s} x{stats['count']:<4d} "
+              f"total {1e3 * stats['total_s']:8.2f} ms  "
+              f"mean {1e3 * stats['mean_s']:.3f} ms")
     print(f"fixed-seed reproducibility: {'ok' if reproducible else 'FAILED'}")
     ok = speedup >= floor and reproducible
+    if args.bench_json:
+        from repro.obs import BenchRecorder
+
+        recorder = BenchRecorder(args.bench_json, bench="serving")
+        recorder.record(
+            {
+                "throughput_sps": requests / batched,
+                "sequential_sps": requests / sequential,
+                "speedup": float(speedup),
+                "latency_p50_ms": 1e3 * latency["p50"],
+                "latency_p95_ms": 1e3 * latency["p95"],
+                "latency_p99_ms": 1e3 * latency["p99"],
+                "occupancy": report["occupancy_mean"],
+                "cache_hit_rate": report.get("cache", {}).get("hit_rate", 0.0),
+                "energy_uj_per_request": report["energy_uj"]["per_request"],
+                "reproducible": bool(reproducible),
+            },
+            scale={
+                "model": "lenet5-mini",
+                "notation": "A4W2",
+                "backend": args.backend,
+                "num_chips": num_chips,
+                "max_batch": MAX_BATCH,
+                "requests": requests,
+                "smoke": bool(args.smoke),
+                **engine.policy.describe(),
+            },
+        )
+        print(f"bench trajectory: {args.bench_json} "
+              f"({len(recorder.runs())} runs)")
     print("smoke: " + ("PASS" if ok else "FAIL"))
     return 0 if ok else 1
 

@@ -15,7 +15,10 @@ chases over a chip's service life:
    are recalibrated — cells rewritten, GTM re-measured, and only that
    chip's cached mapping invalidated;
 4. replay the same bursty arrival trace under round-robin and drift-aware
-   scheduling and compare end-of-trace accuracy.
+   scheduling and compare end-of-trace accuracy;
+5. dump the drift-aware run's span timeline (``lifecycle_trace.jsonl``)
+   and print the per-stage breakdown — where a request's time actually
+   went, probes and recalibrations included.
 
 Run:  python examples/lifecycle_serving.py
 """
@@ -99,6 +102,25 @@ def main() -> None:
         print(f"    served accuracy {100 * top1_accuracy(logits, labels):.1f}%  "
               f"end-of-trace {100 * correct[-tail:].mean():.1f}%  "
               f"cache invalidations {engine.cache.stats.invalidations}")
+        latency = engine.telemetry.request_seconds
+        print(f"    request latency ms: p50 {1e3 * latency.quantile(0.5):.2f}  "
+              f"p95 {1e3 * latency.quantile(0.95):.2f}  "
+              f"p99 {1e3 * latency.quantile(0.99):.2f}")
+        last_engine = engine
+
+    # The span timeline of the drift-aware run: every enqueue, batch cut,
+    # dispatch, forward, probe, and recalibration as one JSONL record.
+    recorder = last_engine.obs.recorder
+    written = recorder.export_jsonl("lifecycle_trace.jsonl")
+    print(f"\nspan timeline: {written} spans -> lifecycle_trace.jsonl "
+          f"(dropped {recorder.dropped})")
+    print("per-stage breakdown (drift-aware run):")
+    breakdown = recorder.breakdown()
+    for name in sorted(breakdown, key=lambda n: -breakdown[n]["total_s"]):
+        stats = breakdown[name]
+        print(f"    {name:<22s} x{stats['count']:<5d} "
+              f"total {1e3 * stats['total_s']:8.2f} ms  "
+              f"mean {1e3 * stats['mean_s']:7.3f} ms")
 
     print("\ntakeaway: the lifecycle layer turns drift from a plotted curve "
           "into an operational event stream — quality sags, a probe catches it, "

@@ -10,6 +10,7 @@ from repro import (
     eval,
     models,
     nn,
+    obs,
     pim,
     quant,
     selftuning,
@@ -45,6 +46,7 @@ __all__ = [
     "training",
     "eval",
     "datasets",
+    "obs",
     "QConfig",
     "convert_to_quantized",
     "calibrate_model",

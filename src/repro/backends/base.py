@@ -51,11 +51,44 @@ class ProgrammedChip:
         self.mapping = mapping
         self._backend_obj = backend_obj
         self._source_model = source_model
+        self._obs = None
+
+    def attach_observability(self, obs) -> None:
+        """Profile this chip through ``obs`` (a :class:`repro.obs.Observability`).
+
+        With tracing enabled every :meth:`forward` emits a ``chip.forward``
+        span carrying the chip id, batch rows, and — when the backend has a
+        cost estimator — the batch's per-layer energy attribution, so
+        fleet-level profiles can say which chip and which layer the time
+        and energy went to.  Detach by passing ``None``.
+        """
+        self._obs = obs
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Batched inference: float inputs in, float logits out (no autograd)."""
-        with no_grad():
-            return self.mapping(Tensor(np.asarray(x))).data
+        obs = self._obs
+        if obs is None or not obs.tracing:
+            with no_grad():
+                return self.mapping(Tensor(np.asarray(x))).data
+        x = np.asarray(x)
+        rows = int(x.shape[0]) if x.ndim else 1
+        with obs.span("chip.forward", chip=self.chip_id, rows=rows) as span:
+            with no_grad():
+                outputs = self.mapping(Tensor(x)).data
+            per_layer = self.layer_energy_uj(x.shape)
+            if per_layer is not None:
+                span.set(energy_uj_per_layer=per_layer)
+            return outputs
+
+    def layer_energy_uj(self, batch_shape: tuple[int, ...]) -> dict | None:
+        """Per-layer estimated energy (uJ) of one ``batch_shape`` batch.
+
+        ``None`` when the owning backend has no cost estimator — same
+        optionality contract as :meth:`cost`.
+        """
+        if self._backend_obj is None or self._source_model is None:
+            return None
+        return self._backend_obj.layer_energy_uj(self._source_model, batch_shape)
 
     def refresh(self, variation: ChipVariation) -> None:
         """Re-install a (drifted) variation on the already-programmed chip.
@@ -119,20 +152,42 @@ class ChipBackend:
     # ------------------------------------------------------------------
     # Cost estimation (shared by all backends)
     # ------------------------------------------------------------------
-    def cost_for(self, model, batch_shape: tuple[int, ...]) -> CostReport | None:
-        """Cost of one ``batch_shape`` batch through ``model`` on this backend."""
-        if self.estimator is None:
-            return None
+    def _unit_report(self, model, batch_shape: tuple[int, ...]) -> CostReport:
+        """Cached single-inference cost report (with per-layer breakdown)."""
         batch_shape = tuple(int(dim) for dim in batch_shape)
         if len(batch_shape) < 2:
             raise ValueError(f"batch_shape needs (N, ...features), got {batch_shape}")
         per_model = self._geometries.setdefault(model, {})
         input_shape = batch_shape[1:]
-        geometries = per_model.get(input_shape)
-        if geometries is None:
+        report = per_model.get(input_shape)
+        if report is None:
             geometries = geometries_from_model(model, input_shape)
-            per_model[input_shape] = geometries
-        return self.estimator.model_cost(geometries).scaled(max(1, batch_shape[0]))
+            report = self.estimator.model_cost(geometries)
+            per_model[input_shape] = report
+        return report
+
+    def cost_for(self, model, batch_shape: tuple[int, ...]) -> CostReport | None:
+        """Cost of one ``batch_shape`` batch through ``model`` on this backend."""
+        if self.estimator is None:
+            return None
+        report = self._unit_report(model, batch_shape)
+        return report.scaled(max(1, int(batch_shape[0])))
+
+    def layer_energy_uj(self, model, batch_shape: tuple[int, ...]) -> dict | None:
+        """Per-layer energy (uJ) of one ``batch_shape`` batch, JSON-friendly.
+
+        The profiling attribution hook: reads the cached single-inference
+        breakdown and scales by the batch's row count, so calling it per
+        dispatched batch is dict arithmetic, not a model trace.
+        """
+        if self.estimator is None:
+            return None
+        report = self._unit_report(model, batch_shape)
+        rows = max(1, int(batch_shape[0]))
+        return {
+            name: float(layer.energy_uj * rows)
+            for name, layer in report.breakdown.items()
+        }
 
     def describe(self) -> dict:
         """Backend configuration (JSON-friendly)."""

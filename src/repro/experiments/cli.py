@@ -213,6 +213,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--dt", type=float, default=1.0, help="virtual drift time per tick"
         )
         sub.add_argument("--results-dir", default="results")
+        sub.add_argument(
+            "--bench-json",
+            default=None,
+            metavar="PATH",
+            help="append this run to a schema-versioned perf-trajectory file "
+            "(e.g. BENCH_serving.json); see repro.obs.BenchRecorder",
+        )
 
     serve = commands.add_parser(
         "serve-bench",
@@ -579,6 +586,68 @@ def _drift_record(args, runs: list[dict]) -> dict:
     }
 
 
+def _print_span_breakdown(engine, title: str = "per-stage span breakdown") -> None:
+    """Where serving wall time went, stage by stage (tracing spans)."""
+    breakdown = engine.obs.recorder.breakdown()
+    if not breakdown:
+        return
+    rows = [
+        [name, stats["count"], f"{1e3 * stats['total_s']:.2f}",
+         f"{1e3 * stats['mean_s']:.3f}", f"{1e3 * stats['max_s']:.3f}"]
+        for name, stats in sorted(
+            breakdown.items(), key=lambda item: -item[1]["total_s"]
+        )
+    ]
+    print(format_table(
+        ["stage", "count", "total ms", "mean ms", "max ms"], rows, title=title
+    ))
+
+
+def _bench_metrics(engine, seconds: float) -> dict:
+    """The BENCH-file metric block for one serving run."""
+    report = engine.telemetry.report()
+    latency = report["latency"]
+    return {
+        "throughput_sps": report["requests"] / seconds if seconds > 0 else 0.0,
+        "latency_p50_ms": 1e3 * latency["p50"],
+        "latency_p95_ms": 1e3 * latency["p95"],
+        "latency_p99_ms": 1e3 * latency["p99"],
+        "occupancy": report["occupancy_mean"],
+        "cache_hit_rate": report.get("cache", {}).get("hit_rate", 0.0),
+        "energy_uj_per_request": report["energy_uj"]["per_request"],
+    }
+
+
+def _bench_scale(args, engine) -> dict:
+    """The BENCH-file scale block: what workload the metrics measured."""
+    return {
+        "model": args.model,
+        "notation": args.notation,
+        "backend": args.backend,
+        "num_chips": args.num_chips,
+        "fleet": args.fleet,
+        "max_batch": args.max_batch,
+        "max_wait": args.max_wait,
+        "requests": args.requests,
+        "trace": args.trace,
+        "seed": args.seed,
+        **engine.policy.describe(),
+    }
+
+
+def _record_bench(args, bench: str, metrics: dict, scale: dict) -> None:
+    if not args.bench_json:
+        return
+    from repro.obs import BenchRecorder
+
+    recorder = BenchRecorder(args.bench_json, bench=bench)
+    run = recorder.record(metrics, scale=scale)
+    print(
+        f"bench trajectory: {args.bench_json} "
+        f"({len(recorder.runs())} runs, sha {run['git_sha'][:12]})"
+    )
+
+
 def _cmd_serve_bench_drift(args) -> int:
     model, test, eval_spec = _serve_model(args)
     policies = list(dict.fromkeys([args.policy, "drift-aware", "round-robin"]))
@@ -619,6 +688,15 @@ def _cmd_serve_bench_drift(args) -> int:
     store = ResultStore(args.results_dir)
     path = store.save(f"serve-bench-drift-{args.model}", _drift_record(args, runs))
     print(f"\nsaved: {path}")
+    primary = runs[0]
+    _record_bench(
+        args, "serving",
+        {
+            **_bench_metrics(primary["engine"], primary["seconds"]),
+            "end_accuracy": primary["end_accuracy"],
+        },
+        _bench_scale(args, primary["engine"]),
+    )
     return 0
 
 
@@ -656,6 +734,16 @@ def _cmd_lifetime_bench(args) -> int:
     store = ResultStore(args.results_dir)
     path = store.save(f"lifetime-bench-{args.model}", _drift_record(args, runs))
     print(f"saved: {path}")
+    _record_bench(
+        args, "lifetime",
+        {
+            **_bench_metrics(best["engine"], best["seconds"]),
+            "accuracy": best["accuracy"],
+            "end_accuracy": best["end_accuracy"],
+            "recalibrations": best["recalibrations"],
+        },
+        _bench_scale(args, best["engine"]),
+    )
     return 0
 
 
@@ -717,7 +805,8 @@ def _cmd_serve_bench(args) -> int:
     )
     print("\nbatched engine telemetry:")
     print(batched.telemetry.format())
-    print(f"mapping cache: {batched.cache.stats.as_dict()}")
+    print()
+    _print_span_breakdown(batched, title="per-stage span breakdown (batched)")
     if mismatched:
         print(f"WARNING: {mismatched} requests differ between modes "
               "(policies may route them to different chips)")
@@ -743,6 +832,11 @@ def _cmd_serve_bench(args) -> int:
         },
     )
     print(f"\nsaved: {path}")
+    _record_bench(
+        args, "serving",
+        {**_bench_metrics(batched, batch_seconds), "speedup": float(speedup)},
+        _bench_scale(args, batched),
+    )
     return 0
 
 

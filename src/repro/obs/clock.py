@@ -1,0 +1,62 @@
+"""Injectable monotonic clocks for the serving stack.
+
+Every latency measurement in :mod:`repro.serve` reads time through one of
+these objects instead of calling :func:`time.perf_counter` inline, so the
+whole latency path can be driven by a :class:`FakeClock` in tests —
+timing assertions become exact equalities instead of wall-clock races.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Interface: a monotonically non-decreasing time source in seconds."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The production clock: :func:`time.perf_counter`."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def __repr__(self) -> str:
+        return "MonotonicClock()"
+
+
+class FakeClock(Clock):
+    """A deterministic clock for tests.
+
+    ``step`` is the virtual time that elapses on every :meth:`now` read
+    (``0.0`` freezes time entirely); :meth:`advance` moves time explicitly.
+    With a nonzero ``step`` every timed region measures an exact, replayable
+    number of seconds, so latency-path tests assert equalities rather than
+    tolerances on wall time.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 0.0) -> None:
+        if step < 0.0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        self._now = float(start)
+        self.step = float(step)
+        self.reads = 0
+
+    def now(self) -> float:
+        current = self._now
+        self._now += self.step
+        self.reads += 1
+        return current
+
+    def advance(self, dt: float) -> float:
+        """Move virtual time forward by ``dt`` seconds; returns the new time."""
+        if dt < 0.0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        self._now += float(dt)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"FakeClock(now={self._now:.6g}, step={self.step:.6g})"

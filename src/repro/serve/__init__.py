@@ -23,6 +23,7 @@ from repro.backends import (
     ProgrammedChip,
     make_backend,
 )
+from repro.obs import Observability
 from repro.serve.batcher import Batch, MicroBatcher, Request
 from repro.serve.cache import CacheStats, MappingCache, mapping_key
 from repro.serve.engine import (
@@ -57,6 +58,7 @@ from repro.serve.trace import (
 
 __all__ = [
     "BACKENDS",
+    "Observability",
     "ChipBackend",
     "ProgrammedChip",
     "FakeQuantBackend",

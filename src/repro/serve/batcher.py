@@ -63,15 +63,26 @@ class MicroBatcher:
     ``max_batch`` caps the fused batch size; ``max_wait`` is the number of
     ticks a request may sit in the queue before a partial batch is forced
     out (``0`` releases every poll, i.e. no artificial batching delay).
+
+    ``observer`` is an optional tracing hook called with every cut
+    :class:`Batch` the moment it is formed — the engine wires it to emit
+    a ``batch`` span, so batch-formation shows up on the request timeline
+    without the batcher knowing anything about observability.
     """
 
-    def __init__(self, max_batch: int = 32, max_wait: int = 4) -> None:
+    def __init__(
+        self,
+        max_batch: int = 32,
+        max_wait: int = 4,
+        observer=None,
+    ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait < 0:
             raise ValueError(f"max_wait must be >= 0, got {max_wait}")
         self.max_batch = max_batch
         self.max_wait = max_wait
+        self.observer = observer
         self._pending: list[Request] = []
 
     def __len__(self) -> int:
@@ -91,6 +102,8 @@ class MicroBatcher:
         self._pending.sort(key=Request.sort_key)
         batch = Batch(self._pending[: self.max_batch], formed=now)
         del self._pending[: self.max_batch]
+        if self.observer is not None:
+            self.observer(batch)
         return batch
 
     def poll(self, now: int) -> list[Batch]:

@@ -15,6 +15,7 @@ stats surface so operators can size the cache against the fleet.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Hashable
@@ -87,10 +88,19 @@ class MappingCache:
     unbounded).  ``get_or_program`` is the only entry point the engine
     needs: it returns the cached mapping or invokes ``program`` to build
     it, evicting the least recently used entry when over capacity.
+
+    ``clock`` is the time source programming cost is measured with
+    (injectable — the engine passes its :mod:`repro.obs` clock so tests
+    can drive it deterministically); ``on_program`` is the profiling hook:
+    called as ``on_program(key, seconds)`` after every miss-triggered
+    programming, which is how per-chip program time attributes to spans
+    and histograms without the cache knowing about either.
     """
 
     capacity: int | None = None
     stats: CacheStats = field(default_factory=CacheStats)
+    clock: Callable[[], float] = time.perf_counter
+    on_program: Callable[[Hashable, float], None] | None = None
 
     def __post_init__(self) -> None:
         if self.capacity is not None and self.capacity < 1:
@@ -117,11 +127,12 @@ class MappingCache:
         self.stats.misses += 1
         if self._is_cross_backend_miss(key):
             self.stats.cross_backend_misses += 1
-        import time
-
-        started = time.perf_counter()
+        started = self.clock()
         mapping = program()
-        self.stats.program_seconds += time.perf_counter() - started
+        seconds = self.clock() - started
+        self.stats.program_seconds += seconds
+        if self.on_program is not None:
+            self.on_program(key, seconds)
         self._entries[key] = mapping
         if self.capacity is not None:
             while len(self._entries) > self.capacity:

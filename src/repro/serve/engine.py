@@ -22,7 +22,6 @@ because both backends treat batch rows independently.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,6 +29,7 @@ import numpy as np
 from repro.backends import ChipBackend, ProgrammedChip, make_backend
 from repro.datasets.loaders import batch_iterator
 from repro.eval.metrics import topk_accuracy
+from repro.obs import Observability
 from repro.pim.devices import device_by_name
 from repro.quant.ptq import quantized_layers
 from repro.selftuning.tuner import SelfTuningConfig
@@ -56,6 +56,13 @@ class ServeConfig:
     :mod:`repro.backends` name (``"fake-quant"``, ``"circuit"``) or a
     configured :class:`~repro.backends.ChipBackend` instance.  A
     ``FleetSpec.backend`` set on a heterogeneous fleet takes precedence.
+
+    ``tracing`` controls request-scoped span recording (metrics stay on
+    either way): ``True`` collects spans in a bounded in-memory recorder,
+    ``False`` swaps in the :class:`repro.obs.NullRecorder` fast path —
+    the difference is bounded by ``tests/test_obs_overhead.py``.  Ignored
+    when an explicit :class:`repro.obs.Observability` is handed to the
+    engine.
     """
 
     max_batch: int = 32
@@ -65,6 +72,7 @@ class ServeConfig:
     seed: int = 0
     self_tuning: SelfTuningConfig | None = None
     backend: str | ChipBackend = "fake-quant"
+    tracing: bool = True
 
 
 @dataclass(frozen=True)
@@ -219,6 +227,7 @@ class InferenceEngine:
         config: ServeConfig = ServeConfig(),
         model_key: str | None = None,
         fleet_spec: FleetSpec | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if fleet_spec is None and num_chips < 1:
             raise ValueError(f"num_chips must be >= 1, got {num_chips}")
@@ -241,13 +250,31 @@ class InferenceEngine:
             ]
         else:
             self.fleet = self._sample_heterogeneous(fleet_spec, config.seed)
-        self.cache = MappingCache(capacity=config.cache_capacity)
-        self.batcher = MicroBatcher(config.max_batch, config.max_wait)
+        # One observability bundle per engine: the injectable clock every
+        # latency measurement reads, the metrics registry telemetry lives
+        # in, and the span recorder each request stage reports to.
+        self.obs = obs if obs is not None else Observability.default(tracing=config.tracing)
+        self._program_seconds = self.obs.registry.histogram(
+            "serve_program_seconds", "seconds per miss-triggered chip programming",
+            lo=1e-6, hi=1e3,
+        )
+        self.cache = MappingCache(
+            capacity=config.cache_capacity,
+            clock=self.obs.clock.now,
+            on_program=self._on_program,
+        )
+        self.batcher = MicroBatcher(
+            config.max_batch, config.max_wait, observer=self._on_batch_formed
+        )
         self.policy = make_policy(config.policy)
-        self.telemetry = ServeTelemetry(max_batch=config.max_batch)
+        self.telemetry = ServeTelemetry(
+            max_batch=config.max_batch, registry=self.obs.registry
+        )
+        self.telemetry.attach_cache(self.cache)
         self.now = 0
         self._auto_id = 0
         self._completed: dict[str, ServedRequest] = {}
+        self._submit_walls: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Fleet programming
@@ -289,6 +316,19 @@ class InferenceEngine:
                 )
         return layers[0].qconfig.notation
 
+    def _on_program(self, key: tuple, seconds: float) -> None:
+        """Cache profiling hook: account one miss-triggered programming."""
+        self._program_seconds.observe(seconds)
+
+    def _on_batch_formed(self, batch: Batch) -> None:
+        """Batcher tracing hook: one event per cut batch."""
+        self.obs.event(
+            "batch",
+            size=batch.size,
+            formed=batch.formed,
+            wait_ticks=batch.max_queue_ticks(),
+        )
+
     def _program(self, chip: FleetChip) -> ProgrammedChip:
         """Write the chip through the backend: the expensive step the
         mapping cache amortizes.
@@ -297,13 +337,18 @@ class InferenceEngine:
         :class:`ChipVariation`, so reprogramming after an eviction
         reproduces the exact same physical chip — on either backend.
         """
-        programmed = self.backend.program(
-            self.model,
-            chip.variation,
-            spec=self.spec_for(chip),
-            chip_id=chip.chip_id,
-            self_tuning=self.config.self_tuning,
-        )
+        with self.obs.span(
+            "program", chip=chip.chip_id, backend=self.backend.name
+        ) as span:
+            programmed = self.backend.program(
+                self.model,
+                chip.variation,
+                spec=self.spec_for(chip),
+                chip_id=chip.chip_id,
+                self_tuning=self.config.self_tuning,
+            )
+            span.set(layers=programmed.describe().get("quantized_layers"))
+        programmed.attach_observability(self.obs)
         chip.mapping_stale = False  # programmed from the chip's current state
         return programmed
 
@@ -396,22 +441,32 @@ class InferenceEngine:
             request_id = f"req{self._auto_id:06d}"
             self._auto_id += 1
         request = Request(str(request_id), np.asarray(payload), arrival=self.now)
+        self._submit_walls[request.id] = self.obs.clock.now()
+        self.obs.event("enqueue", request=request.id, tick=self.now)
         self.batcher.submit(request)
         return request
 
     def _dispatch(self, batch: Batch) -> list[ServedRequest]:
-        chip = self.policy.choose(batch, self.fleet)
-        programmed = self.programmed_for(chip)
-        inputs = batch.inputs()
-        started = time.perf_counter()
-        outputs = programmed.forward(inputs)
-        seconds = time.perf_counter() - started
-        cost = programmed.cost(inputs.shape)
-        energy_uj = cost.energy_uj if cost is not None else None
+        obs = self.obs
+        clock = obs.clock
+        with obs.span("dispatch", tick=self.now, batch=batch.size) as dispatch_span:
+            with obs.span("schedule", policy=self.policy.name) as span:
+                chip = self.policy.choose(batch, self.fleet)
+                span.set(chip=chip.chip_id)
+            with obs.span("mapping", chip=chip.chip_id):
+                programmed = self.programmed_for(chip)
+            inputs = batch.inputs()
+            started = clock.now()
+            outputs = programmed.forward(inputs)
+            seconds = clock.now() - started
+            cost = programmed.cost(inputs.shape)
+            energy_uj = cost.energy_uj if cost is not None else None
+            dispatch_span.set(chip=chip.chip_id, seconds=seconds, energy_uj=energy_uj)
         if energy_uj is not None:
             chip.energy_uj += energy_uj
         chip.served_samples += batch.size
         chip.served_batches += 1
+        completed_wall = clock.now()
         served = []
         for row, request in enumerate(batch.requests):
             done = ServedRequest(
@@ -421,6 +476,9 @@ class InferenceEngine:
                 queue_ticks=batch.formed - request.arrival,
             )
             self._completed[request.id] = done
+            submitted_wall = self._submit_walls.pop(request.id, None)
+            if submitted_wall is not None:
+                self.telemetry.record_request_latency(completed_wall - submitted_wall)
             served.append(done)
         self.telemetry.record_batch(
             chip.chip_id,

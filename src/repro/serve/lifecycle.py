@@ -225,9 +225,13 @@ class ChipLifecycle:
     # Quality monitor + recalibration
     # ------------------------------------------------------------------
     def _probe(self, chip: FleetChip) -> float:
-        quality = self.engine.probe_chip(
-            chip, self._probe_data, k=self.config.probe_k
-        )
+        with self.engine.obs.span(
+            "lifecycle.probe", chip=chip.chip_id, time=self.time
+        ) as span:
+            quality = self.engine.probe_chip(
+                chip, self._probe_data, k=self.config.probe_k
+            )
+            span.set(quality=quality)
         self.engine.telemetry.record_quality(chip.chip_id, self.time, quality)
         self._anchor[chip.chip_id] = (float(chip.variation.eps_between), quality)
         return quality
@@ -285,7 +289,11 @@ class ChipLifecycle:
             seed=self._drift_seed(chip, cycle=chip.recalibrations),
         )
         chip.age = 0.0
-        invalidated = self.engine.reprogram(chip)
+        with self.engine.obs.span(
+            "lifecycle.recalibrate", chip=chip.chip_id, time=self.time
+        ) as span:
+            invalidated = self.engine.reprogram(chip)
+            span.set(invalidated=invalidated)
         quality_after = self._probe(chip)
         self.engine.telemetry.record_recalibration(chip.chip_id, self.time)
         event = RecalibrationEvent(

@@ -1,15 +1,23 @@
-"""Streaming serving telemetry: latency, throughput, occupancy.
+"""Streaming serving telemetry: latency quantiles, throughput, occupancy.
 
-Built on :class:`repro.eval.metrics.AverageMeter`, which tracks mean /
-min / max / std without storing samples, so the counters stay O(1) no
-matter how much traffic flows through the engine.
+Built on :mod:`repro.obs.metrics`: every meter is a :class:`Counter` or a
+log-bucketed streaming :class:`Histogram` registered in a
+:class:`MetricsRegistry`, so the counters stay O(1) no matter how much
+traffic flows through — and, unlike the old ``AverageMeter``-only
+telemetry, latency now reports interpolated p50/p95/p99 tails alongside
+mean/min/max/std (an SLO is a quantile, not a mean).  The registry is
+shared with the engine's :class:`~repro.obs.Observability`, which is what
+lets one Prometheus dump cover the whole stack.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.eval.metrics import AverageMeter
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: The quantile points every latency-shaped report carries.
+QUANTILES = (50.0, 95.0, 99.0)
 
 
 class ServeTelemetry:
@@ -18,6 +26,8 @@ class ServeTelemetry:
     * ``queue_ticks`` — per-request queueing delay in scheduler ticks
       (batching latency; the cost of waiting for a fuller batch);
     * ``service_seconds`` — wall-clock seconds per batched forward pass;
+    * ``request_seconds`` — wall-clock submit-to-completion latency per
+      request (the engine measures it through its injectable clock);
     * ``batch_size`` / ``occupancy`` — how full released batches are
       relative to ``max_batch``;
     * ``per_chip_samples`` — samples served by each chip (load balance);
@@ -29,22 +39,69 @@ class ServeTelemetry:
     * ``recalibrations`` / ``quality_series`` — lifecycle events: per-chip
       recalibration counts and the probed accuracy-over-(virtual)-time
       series, which is what a drift/recovery curve is plotted from.
+
+    ``attach_cache`` links the engine's :class:`~repro.serve.cache.MappingCache`
+    so its hit/miss/invalidation stats appear in :meth:`report` and
+    :meth:`format` — operators should not need the cache object in hand to
+    see the hit rate.
     """
 
-    def __init__(self, max_batch: int = 1) -> None:
+    def __init__(self, max_batch: int = 1, registry: MetricsRegistry | None = None) -> None:
         self.max_batch = max(1, int(max_batch))
-        self.queue_ticks = AverageMeter()
-        self.service_seconds = AverageMeter()
-        self.batch_size = AverageMeter()
-        self.occupancy = AverageMeter()
-        self.batch_energy_uj = AverageMeter()
-        self.requests = 0
-        self.batches = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter(
+            "serve_requests_total", "requests served to completion"
+        )
+        self._batches = self.registry.counter(
+            "serve_batches_total", "batches dispatched to chips"
+        )
+        # Ticks are small integers; a tighter low edge keeps single-digit
+        # quantiles inside log buckets instead of one underflow bin.
+        self.queue_ticks = self.registry.histogram(
+            "serve_queue_ticks", "per-request queueing delay (ticks)",
+            lo=0.5, hi=1e5, buckets_per_decade=20,
+        )
+        self.service_seconds = self.registry.histogram(
+            "serve_batch_service_seconds", "wall seconds per batched forward",
+            lo=1e-6, hi=1e3,
+        )
+        self.request_seconds = self.registry.histogram(
+            "serve_request_latency_seconds", "submit-to-completion wall seconds",
+            lo=1e-6, hi=1e3,
+        )
+        self.batch_size = self.registry.histogram(
+            "serve_batch_size", "requests fused per batch", lo=0.5, hi=1e5,
+            buckets_per_decade=20,
+        )
+        self.occupancy = self.registry.histogram(
+            "serve_batch_occupancy", "batch size / max_batch", lo=1e-3, hi=10.0,
+            buckets_per_decade=20,
+        )
+        self.batch_energy_uj = self.registry.histogram(
+            "serve_batch_energy_uj", "estimated energy per dispatched batch (uJ)",
+            lo=1e-6, hi=1e9,
+        )
         self.per_chip_samples: dict[str, int] = defaultdict(int)
         self.per_chip_energy_uj: dict[str, float] = defaultdict(float)
         self.recalibrations: dict[str, int] = defaultdict(int)
         self.recalibration_events: list[tuple[float, str]] = []
         self.quality_series: dict[str, list[tuple[float, float]]] = defaultdict(list)
+        self._cache = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    def attach_cache(self, cache) -> None:
+        """Surface ``cache.stats`` in :meth:`report`/:meth:`format`."""
+        self._cache = cache
 
     def record_batch(
         self, chip_id: str, queue_ticks, seconds: float, energy_uj: float | None = None
@@ -57,8 +114,8 @@ class ServeTelemetry:
         cost of the batch (``None`` when the backend has no cost estimator).
         """
         size = len(queue_ticks)
-        self.requests += size
-        self.batches += 1
+        self._requests.inc(size)
+        self._batches.inc()
         self.per_chip_samples[chip_id] += size
         self.batch_size.update(size)
         self.occupancy.update(size / self.max_batch)
@@ -68,6 +125,10 @@ class ServeTelemetry:
         if energy_uj is not None:
             self.batch_energy_uj.update(float(energy_uj))
             self.per_chip_energy_uj[chip_id] += float(energy_uj)
+
+    def record_request_latency(self, seconds: float) -> None:
+        """Account one request's submit-to-completion wall latency."""
+        self.request_seconds.update(seconds)
 
     def record_quality(self, chip_id: str, time: float, quality: float) -> None:
         """Append one probed quality sample to a chip's accuracy-over-time series."""
@@ -82,6 +143,9 @@ class ServeTelemetry:
         """One chip's ``(time, probed accuracy)`` series, oldest first."""
         return list(self.quality_series.get(chip_id, []))
 
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
     @property
     def total_service_seconds(self) -> float:
         return self.service_seconds.total
@@ -102,43 +166,63 @@ class ServeTelemetry:
         seconds = self.total_service_seconds
         return self.requests / seconds if seconds > 0.0 else 0.0
 
-    def report(self) -> dict:
-        """Plain-dict snapshot (JSON-friendly, used by the CLI result store)."""
+    @staticmethod
+    def _meter_section(histogram: Histogram) -> dict:
+        """mean/min/max/std (the pre-quantile surface) + p50/p95/p99."""
         return {
+            "mean": float(histogram.mean),
+            "min": float(histogram.min),
+            "max": float(histogram.max),
+            "std": float(histogram.std),
+            **{key: float(value) for key, value in histogram.percentiles(QUANTILES).items()},
+        }
+
+    def report(self) -> dict:
+        """Plain-dict snapshot (JSON-friendly, used by the CLI result store).
+
+        Backwards compatible with the pre-``repro.obs`` layout (every old
+        key is still present) plus the quantile sections (``latency``,
+        per-meter p50/p95/p99) and, when a cache is attached, ``cache``.
+        """
+        report = {
             "requests": self.requests,
             "batches": self.batches,
-            "throughput_sps": self.throughput,
-            "service_seconds": self.total_service_seconds,
-            "batch_size_mean": self.batch_size.mean,
-            "occupancy_mean": self.occupancy.mean,
-            "queue_ticks": {
-                "mean": self.queue_ticks.mean,
-                "min": self.queue_ticks.min,
-                "max": self.queue_ticks.max,
-                "std": self.queue_ticks.std,
-            },
-            "service_seconds_per_batch": {
-                "mean": self.service_seconds.mean,
-                "min": self.service_seconds.min,
-                "max": self.service_seconds.max,
-                "std": self.service_seconds.std,
+            "throughput_sps": float(self.throughput),
+            "service_seconds": float(self.total_service_seconds),
+            "batch_size_mean": float(self.batch_size.mean),
+            "occupancy_mean": float(self.occupancy.mean),
+            "queue_ticks": self._meter_section(self.queue_ticks),
+            "service_seconds_per_batch": self._meter_section(self.service_seconds),
+            "latency": {
+                "count": self.request_seconds.count,
+                **self._meter_section(self.request_seconds),
             },
             "per_chip_samples": dict(self.per_chip_samples),
             "energy_uj": {
-                "total": self.total_energy_uj,
-                "mean_per_batch": self.batch_energy_uj.mean,
-                "per_request": self.energy_per_request_uj,
-                "per_chip": dict(self.per_chip_energy_uj),
+                "total": float(self.total_energy_uj),
+                "mean_per_batch": float(self.batch_energy_uj.mean),
+                "per_request": float(self.energy_per_request_uj),
+                "per_chip": {
+                    chip: float(value)
+                    for chip, value in self.per_chip_energy_uj.items()
+                },
             },
             "recalibrations": dict(self.recalibrations),
             "recalibration_events": [
-                {"time": time, "chip": chip} for time, chip in self.recalibration_events
+                {"time": float(time), "chip": chip}
+                for time, chip in self.recalibration_events
             ],
             "quality_series": {
-                chip: [{"time": time, "accuracy": q} for time, q in series]
+                chip: [{"time": float(time), "accuracy": float(q)} for time, q in series]
                 for chip, series in self.quality_series.items()
             },
         }
+        if self._cache is not None:
+            report["cache"] = {
+                key: (float(value) if isinstance(value, float) else value)
+                for key, value in self._cache.stats.as_dict().items()
+            }
+        return report
 
     def format(self) -> str:
         """Human-readable multi-line summary."""
@@ -148,14 +232,34 @@ class ServeTelemetry:
             f"batch size: mean {self.batch_size.mean:.2f}  "
             f"occupancy: {100 * self.occupancy.mean:.0f}%",
             f"queue ticks: mean {self.queue_ticks.mean:.2f}  "
-            f"max {self.queue_ticks.max:.0f}  std {self.queue_ticks.std:.2f}",
+            f"p50 {self.queue_ticks.quantile(0.50):.1f}  "
+            f"p95 {self.queue_ticks.quantile(0.95):.1f}  "
+            f"p99 {self.queue_ticks.quantile(0.99):.1f}  "
+            f"max {self.queue_ticks.max:.0f}",
             f"service ms/batch: mean {1e3 * self.service_seconds.mean:.2f}  "
+            f"p95 {1e3 * self.service_seconds.quantile(0.95):.2f}  "
             f"max {1e3 * self.service_seconds.max:.2f}",
             "chip load: "
             + "  ".join(
                 f"{chip}={count}" for chip, count in sorted(self.per_chip_samples.items())
             ),
         ]
+        if self.request_seconds.count:
+            lines.insert(
+                3,
+                f"request latency ms: p50 {1e3 * self.request_seconds.quantile(0.50):.2f}  "
+                f"p95 {1e3 * self.request_seconds.quantile(0.95):.2f}  "
+                f"p99 {1e3 * self.request_seconds.quantile(0.99):.2f}  "
+                f"max {1e3 * self.request_seconds.max:.2f}",
+            )
+        if self._cache is not None:
+            stats = self._cache.stats
+            lines.append(
+                f"mapping cache: {stats.hits} hits / {stats.misses} misses "
+                f"(hit rate {100 * stats.hit_rate:.0f}%)  "
+                f"evictions {stats.evictions}  invalidations {stats.invalidations}  "
+                f"cross-backend misses {stats.cross_backend_misses}"
+            )
         if self.batch_energy_uj.count:
             lines.append(
                 f"energy: total {self.total_energy_uj:.1f} uJ  "

@@ -43,13 +43,22 @@ from repro.nn import init
 from repro.quant.calibration import calibrate_model
 from repro.quant.ptq import convert_to_quantized
 from repro.quant.qconfig import QConfig
-from repro.serve import InferenceEngine, ServeConfig
+from repro.serve import (
+    FaultInjector,
+    FaultPlan,
+    InferenceEngine,
+    ReplayTrace,
+    ServeConfig,
+    UniformTrace,
+)
 from repro.variability.models import WeightProportionalVariance
 from repro.variability.sampler import VariabilitySpec
 
 NUM_CHIPS = 4
 MAX_BATCH = 32
 REQUESTS = 128
+CHAOS_CHIPS = 16
+GOODPUT_FLOOR = 0.95
 
 
 def _serving_workload(requests: int = REQUESTS):
@@ -104,6 +113,44 @@ def test_fixed_seed_reproduces_outputs():
     first = _engine(model, spec, MAX_BATCH, 4, seed=3).run(workload, ids=ids)
     second = _engine(model, spec, MAX_BATCH, 4, seed=3).run(workload, ids=ids)
     assert all(np.array_equal(first[rid], second[rid]) for rid in ids)
+
+
+def _chaos_run(model, spec, workload, ids, trace, seed: int = 0,
+               num_chips: int = CHAOS_CHIPS, backend: str = "fake-quant"):
+    """One chaos serving session under the default fault mix."""
+    engine = _engine(model, spec, MAX_BATCH, 4, seed=seed,
+                     num_chips=num_chips, backend=backend)
+    FaultInjector(engine, FaultPlan(seed=seed)).install()
+    started = time.perf_counter()
+    outputs = engine.run_trace(workload, trace, ids=ids)
+    return engine, outputs, time.perf_counter() - started
+
+
+def test_chaos_goodput_floor():
+    """Acceptance: the default fault mix (1 death, 2 stuck-at maps, 5%
+    transients) on a 16-chip fleet never crashes the engine and serves
+    >= 95% of requests; the rest carry dead-letter records."""
+    model, spec, workload, ids = _serving_workload()
+    trace = ReplayTrace.from_trace(UniformTrace(rate=8.0), len(ids))
+    engine, outputs, _ = _chaos_run(model, spec, workload, ids, trace)
+    goodput = engine.telemetry.goodput
+    assert len(outputs) + len(engine.dead_letters) == len(ids)
+    assert goodput >= GOODPUT_FLOOR, f"goodput {goodput:.3f} below floor"
+    for letter in engine.dead_letters.values():
+        assert letter.reason in ("retries-exhausted", "timeout")
+
+
+def test_chaos_run_is_bit_reproducible():
+    """Acceptance: same (engine seed, fault seed, trace) => identical fault
+    schedule, dead-letter set, and served outputs."""
+    model, spec, workload, ids = _serving_workload()
+    trace = ReplayTrace.from_trace(UniformTrace(rate=8.0), len(ids))
+    first, out_a, _ = _chaos_run(model, spec, workload, ids, trace, seed=3)
+    second, out_b, _ = _chaos_run(model, spec, workload, ids, trace, seed=3)
+    assert first.faults.schedule == second.faults.schedule
+    assert set(first.dead_letters) == set(second.dead_letters)
+    assert set(out_a) == set(out_b)
+    assert all(np.array_equal(out_a[rid], out_b[rid]) for rid in out_a)
 
 
 def test_batched_engine_throughput(benchmark):

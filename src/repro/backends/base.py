@@ -98,6 +98,20 @@ class ProgrammedChip:
         """
         raise NotImplementedError
 
+    def apply_faults(self, spec, seed: int = 0) -> int:
+        """Pin a stuck-at fault map onto the chip's programmed state.
+
+        ``spec`` is a :class:`~repro.variability.faults.FaultSpec`; masks
+        are drawn per layer name via
+        :func:`~repro.variability.faults.layer_fault_masks`, so every
+        backend realizing the same ``(spec, seed)`` pins the same logical
+        cells.  Mutates the programmed state in place and returns the
+        number of stuck cells; callers should :meth:`refresh` afterwards
+        so fidelities that derive state from the mutated codes (crossbar
+        tiles) re-install it.
+        """
+        raise NotImplementedError
+
     def cost(self, batch_shape: tuple[int, ...]) -> CostReport | None:
         """Estimated physical cost of dispatching one ``batch_shape`` batch.
 

@@ -78,6 +78,35 @@ class CircuitChip(ProgrammedChip):
                 eps=layer_epsilon(variation, name, mapped.qlayer),
             )
 
+    def apply_faults(self, spec, seed: int = 0) -> int:
+        """Pin stuck cells directly in each mapped layer's weight codes.
+
+        Masks are drawn on the fake-quant weight shape (same keying as
+        :func:`layer_epsilon`) and rearranged into the codes layout, so a
+        circuit chip and a fake-quant chip given the same ``(spec, seed)``
+        pin the *same* logical weights.  Callers must :meth:`refresh`
+        afterwards — the tiles are programmed from ``codes``, and the
+        mutation only reaches silicon on the next (re)program.
+        """
+        from repro.variability.faults import apply_stuck_codes, layer_fault_masks
+
+        faulted = 0
+        for name in self.deployed:
+            mapped = self.chip.layers[name]
+            qlayer = mapped.qlayer
+            stuck_off, stuck_on = layer_fault_masks(
+                name, qlayer.weight.data.shape, spec, seed
+            )
+            # Same (out, ...) -> flatten -> transpose rearrangement the
+            # weight codes themselves went through at deploy time.
+            stuck_off = stuck_off.reshape(stuck_off.shape[0], -1).T
+            stuck_on = stuck_on.reshape(stuck_on.shape[0], -1).T
+            qspec = qlayer.weight_spec
+            faulted += apply_stuck_codes(
+                mapped.codes, stuck_off, stuck_on, qspec.qmin, qspec.qmax
+            )
+        return faulted
+
     def describe(self) -> dict:
         return {
             "backend": self.backend,

@@ -75,6 +75,41 @@ class FakeQuantChip(ProgrammedChip):
     def refresh(self, variation: ChipVariation) -> None:
         inject_variation(self.mapping, variation, self.spec, self.injection_mode)
 
+    def apply_faults(self, spec, seed: int = 0) -> int:
+        """Pin stuck cells into the replica's (owned) quantized weights.
+
+        The replica's weight tensors are exactly the crossbar-written
+        state this backend owns per chip (everything else aliases the
+        golden model), so pinning happens there: weights are taken to code
+        space, stuck cells pinned via
+        :func:`~repro.variability.faults.apply_stuck_codes`, and the codes
+        written back as dequantized values — which round-trip exactly
+        through the fake-quant forward, matching what the circuit backend
+        reads off its faulted tiles.
+        """
+        import numpy as np
+
+        from repro.quant.ptq import quantized_layers
+        from repro.variability.faults import apply_stuck_codes, layer_fault_masks
+
+        faulted = 0
+        for name, layer in quantized_layers(self.mapping):
+            weight = layer.weight.data
+            stuck_off, stuck_on = layer_fault_masks(name, weight.shape, spec, seed)
+            if layer.qconfig.per_channel_weights:
+                scales = np.asarray(layer.weight_scale).reshape(
+                    (-1,) + (1,) * (weight.ndim - 1)
+                )
+            else:
+                scales = float(layer.weight_scale)
+            qspec = layer.weight_spec
+            codes = np.clip(np.rint(weight / scales), qspec.qmin, qspec.qmax)
+            faulted += apply_stuck_codes(
+                codes, stuck_off, stuck_on, qspec.qmin, qspec.qmax
+            )
+            weight[...] = codes * scales
+        return faulted
+
     def describe(self) -> dict:
         from repro.quant.ptq import quantized_layers
 

@@ -15,6 +15,8 @@ Examples::
         --fleet rram:2,flash:2 --trace bursty --skip-training
     python -m repro.experiments serve-bench --backend circuit --num-chips 2 \\
         --requests 48 --skip-training
+    python -m repro.experiments serve-bench --chaos --num-chips 16 \\
+        --requests 256 --skip-training
     python -m repro.experiments lifetime-bench --fleet rram:2,flash:2 \\
         --requests 192 --skip-training
 
@@ -23,7 +25,10 @@ Examples::
 of Table I); ``serve-bench`` drives a simulated chip fleet through the
 :mod:`repro.serve` engine and reports batched-vs-sequential throughput —
 with ``--drift`` the fleet ages under a drift process and the chosen
-policy is raced against round-robin on end-of-trace accuracy;
+policy is raced against round-robin on end-of-trace accuracy, and with
+``--chaos`` a deterministic fault schedule (chip deaths, stuck-at maps,
+transient errors) hits the fleet mid-trace and the bench reports goodput
+under faults plus a bit-reproducibility check;
 ``lifetime-bench`` runs the full lifecycle story (drift, probes,
 recalibrations) across several policies and prints the drift/recovery
 curves.  Results are also appended as JSON under ``--results-dir``.
@@ -232,6 +237,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="age the fleet while it serves; race --policy against round-robin "
         "on end-of-trace accuracy (implies --fleet rram:2,flash:2 and "
         "--trace uniform unless given)",
+    )
+    serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject a deterministic fault schedule (chip deaths, stuck-at "
+        "maps, transient errors) while serving and report goodput under "
+        "faults; the run is executed twice to assert bit-reproducibility",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the chaos schedule and hazard stream (--chaos)",
+    )
+    serve.add_argument(
+        "--transient-rate", type=float, default=0.05,
+        help="per-dispatch-attempt transient failure probability (--chaos)",
+    )
+    serve.add_argument(
+        "--latency-rate", type=float, default=0.0,
+        help="per-dispatch-attempt latency-spike probability (--chaos)",
+    )
+    serve.add_argument(
+        "--deaths", type=_nonnegative_int, default=1,
+        help="hard chip deaths scheduled over the fault horizon (--chaos)",
+    )
+    serve.add_argument(
+        "--stuck-chips", type=_nonnegative_int, default=2,
+        help="chips receiving a stuck-at fault map (--chaos)",
+    )
+    serve.add_argument(
+        "--fault-horizon", type=_positive_int, default=16,
+        help="ticks over which scheduled fault events land (--chaos)",
+    )
+    serve.add_argument(
+        "--goodput-floor", type=float, default=0.95,
+        help="exit non-zero when served/(served+dead-lettered) falls below "
+        "this fraction (--chaos)",
     )
 
     lifetime = commands.add_parser(
@@ -747,9 +788,202 @@ def _cmd_lifetime_bench(args) -> int:
     return 0
 
 
+def _chaos_serving_run(model, test, eval_spec, args, trace) -> dict:
+    """One chaos serving session; returns everything determinism compares."""
+    from repro.serve import FaultInjector, FaultPlan, InferenceEngine, ServeConfig
+
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        policy=args.policy,
+        cache_capacity=args.cache_capacity,
+        seed=args.seed,
+        self_tuning=_self_tuning(args),
+        backend=args.backend,
+    )
+    engine = InferenceEngine(
+        model, eval_spec, args.num_chips, config, fleet_spec=_fleet_spec(args)
+    )
+    engine.warm_up()
+    plan = FaultPlan(
+        transient_rate=args.transient_rate,
+        latency_rate=args.latency_rate,
+        deaths=args.deaths,
+        stuck_chips=args.stuck_chips,
+        horizon=args.fault_horizon,
+        seed=args.fault_seed,
+    )
+    injector = FaultInjector(engine, plan)
+    injector.install()
+    workload, labels, ids = _serving_workload(args, test)
+    started = time.perf_counter()
+    outputs = engine.run_trace(workload, trace, ids=ids)
+    seconds = time.perf_counter() - started
+    served = [rid for rid in ids if rid in outputs]
+    correct = sum(
+        int(outputs[rid].argmax() == label)
+        for rid, label in zip(ids, labels)
+        if rid in outputs
+    )
+    return {
+        "engine": engine,
+        "injector": injector,
+        "outputs": outputs,
+        "ids": ids,
+        "served": served,
+        "accuracy": correct / len(served) if served else 0.0,
+        "seconds": seconds,
+    }
+
+
+def _cmd_serve_bench_chaos(args) -> int:
+    """Goodput-under-faults bench: chaos schedule in, dead letters out.
+
+    The session runs *twice* from the same (engine seed, fault seed, trace)
+    and the whole observable story — fault schedule, retry/hedge counts,
+    dead-letter set, and every served logit row — must be bit-identical;
+    any divergence (or goodput below ``--goodput-floor``) is a non-zero
+    exit, so CI can hold the line.
+    """
+    from repro.serve import ReplayTrace
+
+    model, test, eval_spec = _serve_model(args)
+    # Pin the arrival schedule so both runs (and any rerun of this command)
+    # replay the identical trace regardless of trace-internal RNG state.
+    trace = ReplayTrace.from_trace(_cli_trace(args), args.requests)
+    first = _chaos_serving_run(model, test, eval_spec, args, trace)
+    second = _chaos_serving_run(model, test, eval_spec, args, trace)
+
+    engine, injector, ids = first["engine"], first["injector"], first["ids"]
+    telemetry = engine.telemetry
+    reproducible = (
+        injector.schedule == second["injector"].schedule
+        and telemetry.retries == second["engine"].telemetry.retries
+        and telemetry.hedges == second["engine"].telemetry.hedges
+        and set(engine.dead_letters) == set(second["engine"].dead_letters)
+        and first["served"] == second["served"]
+        and all(
+            np.array_equal(first["outputs"][rid], second["outputs"][rid])
+            for rid in first["served"]
+        )
+    )
+    goodput = telemetry.goodput
+    health_counts: dict[str, int] = {}
+    for chip in engine.fleet:
+        health_counts[chip.health] = health_counts.get(chip.health, 0) + 1
+    rows = [
+        ["requests", args.requests],
+        ["served", len(first["served"])],
+        ["dead-lettered", len(engine.dead_letters)],
+        ["goodput", f"{100 * goodput:.2f}%"],
+        ["served accuracy", f"{100 * first['accuracy']:.1f}%"],
+        ["faults fired", telemetry.faults],
+        ["retries", telemetry.retries],
+        ["hedges", telemetry.hedges],
+        ["replacements", len(engine.retired)],
+        ["fleet health", ", ".join(f"{k}:{v}" for k, v in sorted(health_counts.items()))],
+        ["reproducible", "yes" if reproducible else "NO"],
+        ["req/s", f"{args.requests / first['seconds']:.1f}"],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"serve-bench --chaos {args.model}/{args.notation} "
+                f"{args.num_chips} chips, backend={args.backend}, "
+                f"deaths={args.deaths} stuck={args.stuck_chips} "
+                f"transient={args.transient_rate} fault-seed={args.fault_seed}"
+            ),
+        )
+    )
+    print("\nfault schedule: " + (
+        "  ".join(
+            f"t={event.tick}:{event.kind}@{event.chip_id}"
+            for event in injector.schedule
+        ) or "(empty)"
+    ))
+    if engine.dead_letters:
+        print("dead letters:")
+        for letter in sorted(engine.dead_letters.values(), key=lambda l: l.id):
+            print(
+                f"  {letter.id}: {letter.reason} after {letter.attempts} "
+                f"attempts (cause: {letter.cause}, tick {letter.tick})"
+            )
+    print("\nchaos engine telemetry:")
+    print(telemetry.format())
+    store = ResultStore(args.results_dir)
+    path = store.save(
+        f"serve-bench-chaos-{args.model}",
+        {
+            "model": args.model,
+            "notation": args.notation,
+            "backend": args.backend,
+            "policy": args.policy,
+            "num_chips": args.num_chips,
+            "fleet": args.fleet,
+            "requests": args.requests,
+            "seed": args.seed,
+            "fault_seed": args.fault_seed,
+            "plan": {
+                "transient_rate": args.transient_rate,
+                "latency_rate": args.latency_rate,
+                "deaths": args.deaths,
+                "stuck_chips": args.stuck_chips,
+                "horizon": args.fault_horizon,
+            },
+            "goodput": goodput,
+            "served": len(first["served"]),
+            "dead_letters": sorted(engine.dead_letters),
+            "accuracy": first["accuracy"],
+            "reproducible": reproducible,
+            "schedule": [
+                {"tick": e.tick, "kind": e.kind, "chip_id": e.chip_id}
+                for e in injector.schedule
+            ],
+            "telemetry": telemetry.report(),
+        },
+    )
+    print(f"\nsaved: {path}")
+    _record_bench(
+        args, "chaos",
+        {
+            **_bench_metrics(engine, first["seconds"]),
+            "goodput": goodput,
+            "dead_letters": len(engine.dead_letters),
+            "retries": telemetry.retries,
+            "hedges": telemetry.hedges,
+            "faults": telemetry.faults,
+            "replacements": len(engine.retired),
+            "served_accuracy": first["accuracy"],
+        },
+        {
+            **_bench_scale(args, engine),
+            "fault_seed": args.fault_seed,
+            "deaths": args.deaths,
+            "stuck_chips": args.stuck_chips,
+            "transient_rate": args.transient_rate,
+        },
+    )
+    if not reproducible:
+        print("ERROR: chaos run is not bit-reproducible across reruns")
+        return 1
+    if goodput < args.goodput_floor:
+        print(
+            f"ERROR: goodput {100 * goodput:.2f}% below floor "
+            f"{100 * args.goodput_floor:.2f}%"
+        )
+        return 1
+    return 0
+
+
 def _cmd_serve_bench(args) -> int:
     from repro.serve import InferenceEngine, ServeConfig
 
+    if args.chaos and args.drift:
+        raise SystemExit("error: --chaos and --drift are separate benches; pick one")
+    if args.chaos:
+        return _cmd_serve_bench_chaos(args)
     if args.drift:
         return _cmd_serve_bench_drift(args)
     model, test, eval_spec = _serve_model(args)

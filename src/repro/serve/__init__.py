@@ -9,10 +9,16 @@ and streaming telemetry.  On top of the static fleet, :mod:`repro.serve.lifecycl
 drives drift aging, quality monitoring, and recalibration-triggered
 cache invalidation over mixed-technology fleets
 (:class:`~repro.serve.engine.FleetSpec`), and :mod:`repro.serve.trace`
-supplies Poisson/bursty/replayed arrival traces.  See
+supplies Poisson/bursty/replayed arrival traces.  :mod:`repro.serve.health`
+tracks per-chip health (``healthy -> degraded -> quarantined -> retired ->
+replaced``) from dispatch outcomes and lifecycle probes, and
+:mod:`repro.serve.faults` is the deterministic chaos harness — stuck-at
+fault maps, transient dispatch errors, latency spikes, and hard chip
+deaths injected into a *running* fleet, absorbed by retry/hedging,
+dead-letter records, and spare provisioning.  See
 :class:`~repro.serve.engine.InferenceEngine` for the entry point and
-``examples/serving_fleet.py`` / ``examples/lifecycle_serving.py`` for
-end-to-end tours.
+``examples/serving_fleet.py`` / ``examples/lifecycle_serving.py`` /
+``examples/chaos_serving.py`` for end-to-end tours.
 """
 
 from repro.backends import (
@@ -34,6 +40,22 @@ from repro.serve.engine import (
     ServedRequest,
     TechnologyGroup,
 )
+from repro.serve.faults import (
+    ChipFault,
+    DeadLetter,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.serve.health import (
+    HEALTH_STATES,
+    SERVING_STATES,
+    ChipHealth,
+    HealthConfig,
+    HealthMonitor,
+    HealthTransition,
+)
 from repro.serve.lifecycle import ChipLifecycle, LifecycleConfig, RecalibrationEvent
 from repro.serve.scheduler import (
     POLICIES,
@@ -43,6 +65,7 @@ from repro.serve.scheduler import (
     LeastLoadedPolicy,
     RoundRobinPolicy,
     SchedulingPolicy,
+    dispatchable,
     make_policy,
 )
 from repro.serve.telemetry import ServeTelemetry
@@ -84,10 +107,23 @@ __all__ = [
     "DriftAwarePolicy",
     "POLICIES",
     "make_policy",
+    "dispatchable",
     "ServeTelemetry",
     "ChipLifecycle",
     "LifecycleConfig",
     "RecalibrationEvent",
+    "ChipFault",
+    "RetryPolicy",
+    "DeadLetter",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultInjector",
+    "HEALTH_STATES",
+    "SERVING_STATES",
+    "HealthConfig",
+    "ChipHealth",
+    "HealthTransition",
+    "HealthMonitor",
     "ArrivalTrace",
     "UniformTrace",
     "PoissonTrace",

@@ -186,6 +186,19 @@ class MappingCache:
         self.stats.invalidations += len(stale)
         return len(stale)
 
+    def invalidate_chip(self, chip_id: str) -> int:
+        """Drop every mapping programmed for ``chip_id``; returns the count.
+
+        Convenience over :meth:`invalidate_where` for the two surgical
+        invalidation call sites — recalibration and spare provisioning —
+        selecting on the :func:`mapping_key` convention that the chip id
+        is the last key element.  Opaque (non-tuple) keys never match.
+        """
+        chip_id = str(chip_id)
+        return self.invalidate_where(
+            lambda key: isinstance(key, tuple) and bool(key) and key[-1] == chip_id
+        )
+
     def clear(self) -> None:
         """Drop every resident mapping (stats are kept)."""
         self._entries.clear()

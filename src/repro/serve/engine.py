@@ -35,9 +35,12 @@ from repro.quant.ptq import quantized_layers
 from repro.selftuning.tuner import SelfTuningConfig
 from repro.serve.batcher import Batch, MicroBatcher, Request
 from repro.serve.cache import MappingCache, mapping_key
-from repro.serve.scheduler import make_policy
+from repro.serve.faults import ChipFault, DeadLetter, RetryPolicy
+from repro.serve.health import HealthConfig, HealthMonitor
+from repro.serve.scheduler import dispatchable, make_policy
 from repro.serve.telemetry import ServeTelemetry
 from repro.serve.trace import ArrivalTrace
+from repro.variability.faults import FaultSpec
 from repro.variability.models import variance_model_by_name
 from repro.variability.sampler import ChipVariation, VariabilitySampler, VariabilitySpec
 
@@ -63,6 +66,12 @@ class ServeConfig:
     the difference is bounded by ``tests/test_obs_overhead.py``.  Ignored
     when an explicit :class:`repro.obs.Observability` is handed to the
     engine.
+
+    ``retry`` bounds how a failed dispatch is recovered (attempts, backoff,
+    hedging, timeout — see :class:`repro.serve.faults.RetryPolicy`);
+    ``health`` parameterizes the per-chip health state machine
+    (:class:`repro.serve.health.HealthConfig`).  Both only matter once
+    something fails — a fault-free run never parks a request.
     """
 
     max_batch: int = 32
@@ -73,6 +82,8 @@ class ServeConfig:
     self_tuning: SelfTuningConfig | None = None
     backend: str | ChipBackend = "fake-quant"
     tracing: bool = True
+    retry: RetryPolicy = RetryPolicy()
+    health: HealthConfig = HealthConfig()
 
 
 @dataclass(frozen=True)
@@ -166,7 +177,10 @@ class FleetChip:
     :class:`~repro.serve.lifecycle.ChipLifecycle` on drifting ones.
     ``energy_uj`` accumulates the estimated physical energy of every batch
     dispatched to this chip (zero when the backend has no cost estimator)
-    — the signal the ``energy-aware`` policy reads.
+    — the signal the ``energy-aware`` policy reads.  ``health`` is the
+    chip's current state in the :mod:`repro.serve.health` machine; only
+    serving states receive traffic
+    (:func:`repro.serve.scheduler.dispatchable`).
     """
 
     index: int
@@ -181,6 +195,7 @@ class FleetChip:
     recalibrations: int = 0
     mapping_stale: bool = False
     energy_uj: float = 0.0
+    health: str = "healthy"
 
     def __repr__(self) -> str:
         quality = f"{self.quality:.3f}" if self.quality is not None else "unprobed"
@@ -271,10 +286,28 @@ class InferenceEngine:
             max_batch=config.max_batch, registry=self.obs.registry
         )
         self.telemetry.attach_cache(self.cache)
+        self.health = HealthMonitor(
+            config.health, telemetry=self.telemetry, obs=self.obs
+        )
+        #: The installed :class:`~repro.serve.faults.FaultInjector` (or None);
+        #: set by ``FaultInjector.install``.
+        self.faults = None
+        #: Chips swapped out by spare provisioning, in replacement order.
+        self.retired: list[FleetChip] = []
+        #: Hooks fired as ``hook(old_chip, new_chip)`` after a replacement
+        #: (the lifecycle registers one to adopt the fresh silicon).
+        self.on_chip_replaced: list = []
         self.now = 0
         self._auto_id = 0
         self._completed: dict[str, ServedRequest] = {}
         self._submit_walls: dict[str, float] = {}
+        self._dead_letters: dict[str, DeadLetter] = {}
+        self._parked: list[tuple[int, Request]] = []
+        self._attempts: dict[str, int] = {}
+        self._first_arrival: dict[str, int] = {}
+        self._sticky_faults: dict[str, tuple[FaultSpec, int]] = {}
+        self._generations: dict[int, int] = {}
+        self._last_fault_kind = "dispatch-failed"
 
     # ------------------------------------------------------------------
     # Fleet programming
@@ -349,6 +382,14 @@ class InferenceEngine:
             )
             span.set(layers=programmed.describe().get("quantized_layers"))
         programmed.attach_observability(self.obs)
+        sticky = self._sticky_faults.get(chip.chip_id)
+        if sticky is not None:
+            # Stuck cells are physical damage: reprogramming (recalibration,
+            # cache eviction) rewrites the healthy cells but the stuck ones
+            # stay pinned, so the fault map is re-applied on every program.
+            fault_spec, fault_seed = sticky
+            programmed.apply_faults(fault_spec, seed=fault_seed)
+            programmed.refresh(chip.variation)
         chip.mapping_stale = False  # programmed from the chip's current state
         return programmed
 
@@ -404,6 +445,97 @@ class InferenceEngine:
         for chip in self.fleet:
             self.programmed_for(chip)
 
+    # ------------------------------------------------------------------
+    # Faults, retirement, spare provisioning
+    # ------------------------------------------------------------------
+    def chip_by_id(self, chip_id: str) -> FleetChip | None:
+        """The in-rotation chip with this id, or ``None`` (e.g. replaced)."""
+        for chip in self.fleet:
+            if chip.chip_id == chip_id:
+                return chip
+        return None
+
+    def inject_chip_faults(self, chip: FleetChip, spec: FaultSpec, seed: int = 0) -> int:
+        """Pin a sampled stuck-at fault map onto one chip's programmed state.
+
+        Applied through the chip's owning backend
+        (:meth:`repro.backends.ProgrammedChip.apply_faults`), so fake-quant
+        and circuit fleets degrade the same way.  The map is *sticky*: it
+        is remembered per chip id and re-applied whenever the chip is
+        reprogrammed — stuck cells survive recalibration; only spare
+        provisioning (a new chip id) sheds them.  Returns the number of
+        stuck cells.
+        """
+        # Materialize first, then mark sticky: a cold chip programmed inside
+        # this call must not have the map applied twice (once by ``_program``
+        # seeing the sticky entry, once below).
+        programmed = self.programmed_for(chip)
+        self._sticky_faults[chip.chip_id] = (spec, int(seed))
+        with self.obs.span("faults.inject", chip=chip.chip_id) as span:
+            stuck = programmed.apply_faults(spec, seed=int(seed))
+            span.set(stuck=stuck)
+        # Re-install the chip's variation on top of the mutated programmed
+        # state (the circuit backend rewrites its tiles here).
+        programmed.refresh(chip.variation)
+        chip.mapping_stale = False
+        return stuck
+
+    def retire_dead(self, chip: FleetChip) -> FleetChip | None:
+        """Take a hard-failed chip out of rotation; returns its replacement.
+
+        The chip is retired in the health machine immediately; when
+        ``config.health.replace_retired`` is on, spare provisioning swaps
+        in fresh silicon in the same fleet slot.
+        """
+        self.health.on_death(chip, self.now)
+        if self.config.health.replace_retired:
+            return self.replace_chip(chip, reason="dead")
+        return None
+
+    def replace_chip(self, chip: FleetChip, reason: str = "retired") -> FleetChip:
+        """Spare provisioning: swap ``chip`` for fresh silicon, same slot.
+
+        The replacement is sampled from the same technology's variability
+        spec under a fresh deterministic seed (generation-keyed, so every
+        replacement in a run is a distinct chip and reruns reproduce it).
+        Its id is ``<base>+<generation>`` — a new physical identity, so
+        cache keys, sticky fault maps, and health history never leak from
+        the dead chip.  The old chip's cache entries are surgically
+        invalidated, exactly like recalibration.
+        """
+        generation = self._generations.get(chip.index, 0) + 1
+        self._generations[chip.index] = generation
+        base_id = chip.chip_id.partition("+")[0]
+        sampler = VariabilitySampler(
+            self.spec_for(chip),
+            seed=(int(self.config.seed), 0x5BA6E, chip.index, generation),
+        )
+        replacement = FleetChip(
+            index=chip.index,
+            chip_id=f"{base_id}+{generation}",
+            variation=sampler.sample_chip(),
+            technology=chip.technology,
+            spec=chip.spec,
+        )
+        slot = self.fleet.index(chip)
+        self.fleet[slot] = replacement
+        self.retired.append(chip)
+        invalidated = self.cache.invalidate_chip(chip.chip_id)
+        self._sticky_faults.pop(chip.chip_id, None)
+        self.health.mark_replaced(chip, self.now, reason=reason)
+        self.health.adopt(replacement)
+        self.telemetry.record_replacement(chip.chip_id, replacement.chip_id, self.now)
+        self.obs.event(
+            "chip.replaced",
+            old=chip.chip_id,
+            new=replacement.chip_id,
+            tick=self.now,
+            invalidated=invalidated,
+        )
+        for hook in self.on_chip_replaced:
+            hook(chip, replacement)
+        return replacement
+
     def probe_fleet(
         self, dataset, k: int = 1, batch_size: int = 64
     ) -> dict[str, float]:
@@ -442,6 +574,7 @@ class InferenceEngine:
             self._auto_id += 1
         request = Request(str(request_id), np.asarray(payload), arrival=self.now)
         self._submit_walls[request.id] = self.obs.clock.now()
+        self._first_arrival.setdefault(request.id, self.now)
         self.obs.event("enqueue", request=request.id, tick=self.now)
         self.batcher.submit(request)
         return request
@@ -451,16 +584,34 @@ class InferenceEngine:
         clock = obs.clock
         with obs.span("dispatch", tick=self.now, batch=batch.size) as dispatch_span:
             with obs.span("schedule", policy=self.policy.name) as span:
-                chip = self.policy.choose(batch, self.fleet)
+                candidates = dispatchable(self.fleet)
+                if not candidates:
+                    span.set(chip=None)
+                    dispatch_span.set(failed="no-capacity")
+                    self._handle_failed_batch(batch, cause="no-capacity")
+                    return []
+                chip = self.policy.choose(batch, candidates)
                 span.set(chip=chip.chip_id)
-            with obs.span("mapping", chip=chip.chip_id):
-                programmed = self.programmed_for(chip)
             inputs = batch.inputs()
-            started = clock.now()
-            outputs = programmed.forward(inputs)
-            seconds = clock.now() - started
-            cost = programmed.cost(inputs.shape)
-            energy_uj = cost.energy_uj if cost is not None else None
+            outcome = self._attempt(chip, batch, inputs)
+            if outcome is None and self.config.retry.hedge:
+                backup = self._hedge_candidate(chip)
+                if backup is not None:
+                    self.telemetry.record_hedge(chip.chip_id, backup.chip_id)
+                    obs.event(
+                        "hedge",
+                        primary=chip.chip_id,
+                        backup=backup.chip_id,
+                        tick=self.now,
+                    )
+                    outcome = self._attempt(backup, batch, inputs)
+                    if outcome is not None:
+                        chip = backup
+            if outcome is None:
+                dispatch_span.set(chip=chip.chip_id, failed=self._last_fault_kind)
+                self._handle_failed_batch(batch, cause=self._last_fault_kind)
+                return []
+            outputs, seconds, energy_uj = outcome
             dispatch_span.set(chip=chip.chip_id, seconds=seconds, energy_uj=energy_uj)
         if energy_uj is not None:
             chip.energy_uj += energy_uj
@@ -476,6 +627,8 @@ class InferenceEngine:
                 queue_ticks=batch.formed - request.arrival,
             )
             self._completed[request.id] = done
+            self._attempts.pop(request.id, None)
+            self._first_arrival.pop(request.id, None)
             submitted_wall = self._submit_walls.pop(request.id, None)
             if submitted_wall is not None:
                 self.telemetry.record_request_latency(completed_wall - submitted_wall)
@@ -488,24 +641,140 @@ class InferenceEngine:
         )
         return served
 
+    def _attempt(self, chip: FleetChip, batch: Batch, inputs) -> tuple | None:
+        """One dispatch attempt on one chip; ``None`` means it failed.
+
+        Failures (only :class:`~repro.serve.faults.ChipFault` — anything
+        else is a bug and propagates) are absorbed into telemetry and the
+        health machine; a dead chip is retired (and replaced) on the spot.
+        """
+        clock = self.obs.clock
+        try:
+            with self.obs.span("mapping", chip=chip.chip_id):
+                programmed = self.programmed_for(chip)
+            penalty = 0.0
+            if self.faults is not None:
+                penalty = self.faults.before_forward(chip)
+            started = clock.now()
+            outputs = programmed.forward(inputs)
+            seconds = clock.now() - started + penalty
+        except ChipFault as fault:
+            self._last_fault_kind = fault.kind
+            self.telemetry.record_fault(fault.kind, chip.chip_id)
+            self.obs.event(
+                "fault", kind=fault.kind, chip=chip.chip_id, tick=self.now,
+                batch=batch.size,
+            )
+            if fault.kind == "dead":
+                self.retire_dead(chip)
+            else:
+                self.health.on_failure(chip, self.now, reason=fault.kind)
+            return None
+        self.health.on_success(chip, self.now)
+        cost = programmed.cost(inputs.shape)
+        energy_uj = cost.energy_uj if cost is not None else None
+        return outputs, seconds, energy_uj
+
+    def _hedge_candidate(self, primary: FleetChip) -> FleetChip | None:
+        """The backup chip a failed dispatch hedges to (least-loaded other)."""
+        others = [chip for chip in dispatchable(self.fleet) if chip is not primary]
+        if not others:
+            return None
+        return min(others, key=lambda chip: (chip.served_samples, chip.index))
+
+    def _handle_failed_batch(self, batch: Batch, cause: str) -> None:
+        """Park each request for a backoff retry, or dead-letter it.
+
+        Every request in a failed batch spent one dispatch cycle; requests
+        with budget left re-enter the queue ``retry.backoff_for(cycle)``
+        ticks later, the rest land in :attr:`dead_letters` — the engine
+        never raises for a failed request.
+        """
+        retry = self.config.retry
+        for request in batch.requests:
+            cycles = self._attempts.get(request.id, 0) + 1
+            self._attempts[request.id] = cycles
+            first = self._first_arrival.get(request.id, self.now)
+            timed_out = (
+                retry.timeout_ticks is not None
+                and self.now - first >= retry.timeout_ticks
+            )
+            if cycles >= retry.max_attempts or timed_out:
+                reason = "timeout" if timed_out else "retries-exhausted"
+                letter = DeadLetter(
+                    id=request.id,
+                    reason=reason,
+                    cause=cause,
+                    attempts=cycles,
+                    tick=self.now,
+                )
+                self._dead_letters[request.id] = letter
+                self._attempts.pop(request.id, None)
+                self._first_arrival.pop(request.id, None)
+                self._submit_walls.pop(request.id, None)
+                self.telemetry.record_dead_letter(reason)
+                self.obs.event(
+                    "dead-letter", request=request.id, reason=reason, cause=cause,
+                    tick=self.now,
+                )
+            else:
+                release = self.now + retry.backoff_for(cycles)
+                self._parked.append((release, request))
+                self.telemetry.record_retry()
+                self.obs.event(
+                    "retry", request=request.id, attempt=cycles, release=release,
+                    tick=self.now,
+                )
+
+    def _unpark(self) -> None:
+        """Resubmit parked requests whose backoff has elapsed."""
+        if not self._parked:
+            return
+        due = [item for item in self._parked if item[0] <= self.now]
+        if not due:
+            return
+        self._parked = [item for item in self._parked if item[0] > self.now]
+        for _, request in sorted(due, key=lambda item: (item[0], item[1].id)):
+            self.batcher.submit(Request(request.id, request.payload, arrival=self.now))
+
     def step(self, ticks: int = 1) -> list[ServedRequest]:
-        """Advance the clock and dispatch every batch that becomes due."""
+        """Advance the clock and dispatch every batch that becomes due.
+
+        Per-tick order: scheduled fault events fire, the health machine
+        releases served quarantines, due retries re-enter the queue, then
+        due batches dispatch.
+        """
         served = []
         for _ in range(max(1, ticks)):
+            if self.faults is not None:
+                self.faults.on_tick(self.now)
+            self.health.on_tick(self.now, self.fleet)
+            self._unpark()
             for batch in self.batcher.poll(self.now):
                 served.extend(self._dispatch(batch))
             self.now += 1
         return served
 
     def drain(self) -> list[ServedRequest]:
-        """Step the clock until the queue is empty (deadlines run out)."""
+        """Step the clock until queue and retry backlog are empty.
+
+        Terminates even under permanent faults: every parked request has a
+        bounded number of retry cycles before it dead-letters.
+        """
         served = []
-        while len(self.batcher):
+        while len(self.batcher) or self._parked:
             served.extend(self.step())
         return served
 
     def flush(self) -> list[ServedRequest]:
-        """Dispatch everything pending immediately (shutdown path)."""
+        """Dispatch everything pending immediately (shutdown path).
+
+        Parked retries are force-released first; a batch that fails here
+        re-enters the retry machinery (drain afterwards to settle it).
+        """
+        for _, request in sorted(self._parked, key=lambda item: (item[0], item[1].id)):
+            self.batcher.submit(Request(request.id, request.payload, arrival=self.now))
+        self._parked = []
         served = []
         for batch in self.batcher.flush(self.now):
             served.extend(self._dispatch(batch))
@@ -517,6 +786,9 @@ class InferenceEngine:
         ``ids`` defaults to auto-assigned sequential ids; pass explicit ids
         to make results arrival-order-invariant (the canonical batching
         order is by id within a tick — see :mod:`repro.serve.batcher`).
+
+        Requests that exhaust their retry budget under faults are absent
+        from the result and recorded in :attr:`dead_letters` instead.
         """
         inputs = np.asarray(inputs)
         if ids is None:
@@ -530,7 +802,11 @@ class InferenceEngine:
                 self.submit(sample, request_id) for sample, request_id in zip(inputs, ids)
             ]
         self.drain()
-        return {request.id: self._completed[request.id].output for request in requests}
+        return {
+            request.id: self._completed[request.id].output
+            for request in requests
+            if request.id in self._completed
+        }
 
     def run_trace(
         self,
@@ -546,7 +822,11 @@ class InferenceEngine:
         queue build-up behave as under live traffic.  If a
         :class:`~repro.serve.lifecycle.ChipLifecycle` is passed, its drift
         clock advances once per tick *before* dispatch — chips age, get
-        probed, and recalibrate while traffic is in flight.
+        probed, and recalibrate while traffic is in flight.  With a
+        :class:`~repro.serve.faults.FaultInjector` installed, scheduled
+        fault events fire inside :meth:`step`; requests that exhaust
+        their retry budget are absent from the result and recorded in
+        :attr:`dead_letters`.
         """
         inputs = np.asarray(inputs)
         if ids is not None:
@@ -560,7 +840,7 @@ class InferenceEngine:
         offset = self.now
         submitted: list[Request] = []
         cursor = 0
-        while cursor < len(schedule) or len(self.batcher):
+        while cursor < len(schedule) or len(self.batcher) or self._parked:
             tick = self.now - offset
             while cursor < len(schedule) and schedule[cursor] <= tick:
                 request_id = None if ids is None else ids[cursor]
@@ -569,7 +849,11 @@ class InferenceEngine:
             if lifecycle is not None:
                 lifecycle.advance()
             self.step()
-        return {request.id: self._completed[request.id].output for request in submitted}
+        return {
+            request.id: self._completed[request.id].output
+            for request in submitted
+            if request.id in self._completed
+        }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -578,6 +862,11 @@ class InferenceEngine:
     def completed(self) -> dict[str, ServedRequest]:
         """Every completed request so far, keyed by request id."""
         return dict(self._completed)
+
+    @property
+    def dead_letters(self) -> dict[str, DeadLetter]:
+        """Requests that exhausted their retry budget, keyed by request id."""
+        return dict(self._dead_letters)
 
     def assignments(self) -> dict[str, str]:
         """``{request id: chip id}`` for every completed request."""

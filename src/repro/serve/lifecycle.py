@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from repro.pim.devices import device_by_name
 from repro.pim.drift import AgingDrift, DriftingChip, DriftProcess, TemperatureDrift
 from repro.serve.engine import FleetChip, InferenceEngine
+from repro.serve.health import SERVING_STATES
 
 DRIFT_KINDS = ("aging", "temperature")
 
@@ -170,10 +171,35 @@ class ChipLifecycle:
             chip.age = 0.0
             chip.mapping_stale = True
         self._installed = True
+        # Spare provisioning swaps fresh silicon into the fleet mid-run;
+        # adopt it into the drift clock so replacements age like everyone.
+        self.engine.on_chip_replaced.append(self._adopt_replacement)
         for chip in self.engine.fleet:
             quality = self._probe(chip)
             self._baseline[chip.chip_id] = quality
         return dict(self._baseline)
+
+    def _adopt_replacement(self, old_chip: FleetChip, new_chip: FleetChip) -> None:
+        """Wrap a provisioned replacement in its own fresh drift clock.
+
+        The new chip gets its own base variation, a drift stream disjoint
+        from every fabrication-time chip's (generation-offset cycle), and
+        a quality baseline established at its *first* probe — the old
+        chip's t=0 baseline describes silicon that no longer exists.
+        """
+        if not self._installed:
+            return
+        self._bases[new_chip.index] = new_chip.variation
+        tail = new_chip.chip_id.rpartition("+")[2]
+        generation = int(tail) if tail.isdigit() else 1
+        new_chip.variation = DriftingChip(
+            new_chip.variation,
+            self.config.make_process(self.drift_scale(new_chip)),
+            seed=self._drift_seed(new_chip, cycle=500_000 + generation),
+        )
+        new_chip.age = 0.0
+        new_chip.mapping_stale = True
+        self._anchor.pop(old_chip.chip_id, None)
 
     def drift_scale(self, chip: FleetChip) -> float:
         """Technology severity multiplier for one chip's drift process.
@@ -234,6 +260,10 @@ class ChipLifecycle:
             span.set(quality=quality)
         self.engine.telemetry.record_quality(chip.chip_id, self.time, quality)
         self._anchor[chip.chip_id] = (float(chip.variation.eps_between), quality)
+        # Replacements get their baseline at first probe (install() already
+        # set it for fabrication-time chips; setdefault is a no-op there).
+        self._baseline.setdefault(chip.chip_id, quality)
+        self.engine.health.on_probe(chip, quality, tick=self.engine.now)
         return quality
 
     def _update_quality_estimates(self) -> None:
@@ -262,8 +292,19 @@ class ChipLifecycle:
     def _probe_and_recalibrate(self) -> list[RecalibrationEvent]:
         events = []
         for chip in self.engine.fleet:
+            # Retired silicon is dead (or already swapped out): probing it
+            # wastes forwards and recalibration cannot resurrect stuck
+            # cells.  Quarantined chips still get probed — the probe is
+            # the diagnosis that feeds the health monitor's probation —
+            # but only serving chips are worth the recalibration rewrite.
+            if chip.health in ("retired", "replaced"):
+                continue
             quality = self._probe(chip)
-            if self.config.recalibrate and quality < self.floor_for(chip):
+            if (
+                chip.health in SERVING_STATES
+                and self.config.recalibrate
+                and quality < self.floor_for(chip)
+            ):
                 events.append(self.recalibrate(chip, quality_before=quality))
         return events
 

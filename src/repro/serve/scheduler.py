@@ -28,9 +28,32 @@ quality), never the programmed mappings themselves.
   points with distinct per-batch costs (per-group backends, per-device
   energy models) — the seed of the ROADMAP's energy-aware-scheduling
   follow-up.
+
+Policies never see unhealthy hardware: the engine filters the fleet
+through :func:`dispatchable` first, so quarantined/retired/replaced chips
+(see :mod:`repro.serve.health`) are routed around without any policy
+needing to know the state machine exists.
 """
 
 from __future__ import annotations
+
+from repro.serve.health import SERVING_STATES
+
+
+def dispatchable(chips):
+    """The subset of ``chips`` the scheduler may route traffic to.
+
+    Health-aware routing: only chips in a serving state
+    (:const:`repro.serve.health.SERVING_STATES` — ``healthy`` or
+    ``degraded``) are candidates; quarantined, retired, and replaced chips
+    receive no traffic.  Chips without a ``health`` attribute (bare
+    handles in tests) count as healthy, so every policy keeps working on
+    pre-health fleets.  The engine applies this filter *before*
+    ``policy.choose``, so policies stay health-agnostic.
+    """
+    return [
+        chip for chip in chips if getattr(chip, "health", "healthy") in SERVING_STATES
+    ]
 
 
 class SchedulingPolicy:

@@ -38,7 +38,12 @@ class ServeTelemetry:
       quality;
     * ``recalibrations`` / ``quality_series`` — lifecycle events: per-chip
       recalibration counts and the probed accuracy-over-(virtual)-time
-      series, which is what a drift/recovery curve is plotted from.
+      series, which is what a drift/recovery curve is plotted from;
+    * fault tolerance — fault events by kind and by chip, retry/hedge/
+      dead-letter counters, recorded health transitions, spare-provisioning
+      replacements, and ``goodput`` (served / (served + dead-lettered)),
+      the chaos bench's acceptance metric.  All land in the ``faults``
+      section of :meth:`report`.
 
     ``attach_cache`` links the engine's :class:`~repro.serve.cache.MappingCache`
     so its hit/miss/invalidation stats appear in :meth:`report` and
@@ -81,11 +86,28 @@ class ServeTelemetry:
             "serve_batch_energy_uj", "estimated energy per dispatched batch (uJ)",
             lo=1e-6, hi=1e9,
         )
+        self._retries = self.registry.counter(
+            "serve_retries_total", "requests parked for a backoff retry"
+        )
+        self._hedges = self.registry.counter(
+            "serve_hedges_total", "failed dispatches hedged to a second chip"
+        )
+        self._dead_letters = self.registry.counter(
+            "serve_dead_letters_total", "requests that exhausted their retry budget"
+        )
+        self._faults = self.registry.counter(
+            "serve_faults_total", "chip fault events (all kinds)"
+        )
         self.per_chip_samples: dict[str, int] = defaultdict(int)
         self.per_chip_energy_uj: dict[str, float] = defaultdict(float)
         self.recalibrations: dict[str, int] = defaultdict(int)
         self.recalibration_events: list[tuple[float, str]] = []
         self.quality_series: dict[str, list[tuple[float, float]]] = defaultdict(list)
+        self.fault_counts: dict[str, int] = defaultdict(int)
+        self.per_chip_faults: dict[str, int] = defaultdict(int)
+        self.dead_letter_reasons: dict[str, int] = defaultdict(int)
+        self.health_transitions: list = []
+        self.replacements: list[tuple[float, str, str]] = []
         self._cache = None
 
     # ------------------------------------------------------------------
@@ -139,6 +161,33 @@ class ServeTelemetry:
         self.recalibrations[chip_id] += 1
         self.recalibration_events.append((float(time), chip_id))
 
+    def record_fault(self, kind: str, chip_id: str) -> None:
+        """Account one chip fault event (death, stuck-at, transient, ...)."""
+        self._faults.inc()
+        self.fault_counts[kind] += 1
+        self.per_chip_faults[chip_id] += 1
+
+    def record_retry(self) -> None:
+        """Account one request parked for a backoff retry."""
+        self._retries.inc()
+
+    def record_hedge(self, primary: str, backup: str) -> None:
+        """Account one failed dispatch hedged to a second chip."""
+        self._hedges.inc()
+
+    def record_dead_letter(self, reason: str) -> None:
+        """Account one request that exhausted its retry budget."""
+        self._dead_letters.inc()
+        self.dead_letter_reasons[reason] += 1
+
+    def record_health_transition(self, transition) -> None:
+        """Append one :class:`~repro.serve.health.HealthTransition`."""
+        self.health_transitions.append(transition)
+
+    def record_replacement(self, old_chip: str, new_chip: str, time: float) -> None:
+        """Account one spare-provisioning swap (retired -> fresh silicon)."""
+        self.replacements.append((float(time), str(old_chip), str(new_chip)))
+
     def quality_timeline(self, chip_id: str) -> list[tuple[float, float]]:
         """One chip's ``(time, probed accuracy)`` series, oldest first."""
         return list(self.quality_series.get(chip_id, []))
@@ -165,6 +214,32 @@ class ServeTelemetry:
         """Samples per second of service time (excludes queueing ticks)."""
         seconds = self.total_service_seconds
         return self.requests / seconds if seconds > 0.0 else 0.0
+
+    @property
+    def retries(self) -> int:
+        return self._retries.value
+
+    @property
+    def hedges(self) -> int:
+        return self._hedges.value
+
+    @property
+    def dead_letters(self) -> int:
+        return self._dead_letters.value
+
+    @property
+    def faults(self) -> int:
+        return self._faults.value
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of finished requests actually served (vs dead-lettered).
+
+        The chaos bench's acceptance metric: 1.0 on a fault-free run,
+        degrading as requests exhaust their retry budget.
+        """
+        finished = self.requests + self.dead_letters
+        return self.requests / finished if finished else 1.0
 
     @staticmethod
     def _meter_section(histogram: Histogram) -> dict:
@@ -216,6 +291,30 @@ class ServeTelemetry:
                 chip: [{"time": float(time), "accuracy": float(q)} for time, q in series]
                 for chip, series in self.quality_series.items()
             },
+            "faults": {
+                "total": self.faults,
+                "by_kind": dict(self.fault_counts),
+                "per_chip": dict(self.per_chip_faults),
+                "retries": self.retries,
+                "hedges": self.hedges,
+                "dead_letters": self.dead_letters,
+                "dead_letter_reasons": dict(self.dead_letter_reasons),
+                "goodput": float(self.goodput),
+                "replacements": [
+                    {"time": float(time), "old": old, "new": new}
+                    for time, old, new in self.replacements
+                ],
+                "health_transitions": [
+                    {
+                        "tick": transition.tick,
+                        "chip": transition.chip_id,
+                        "source": transition.source,
+                        "target": transition.target,
+                        "reason": transition.reason,
+                    }
+                    for transition in self.health_transitions
+                ],
+            },
         }
         if self._cache is not None:
             report["cache"] = {
@@ -265,6 +364,31 @@ class ServeTelemetry:
                 f"energy: total {self.total_energy_uj:.1f} uJ  "
                 f"mean {self.batch_energy_uj.mean:.1f} uJ/batch  "
                 f"{self.energy_per_request_uj:.2f} uJ/request"
+            )
+        if self.faults or self.dead_letters or self.retries:
+            lines.append(
+                f"faults: {self.faults} ("
+                + "  ".join(
+                    f"{kind}={count}" for kind, count in sorted(self.fault_counts.items())
+                )
+                + f")  retries {self.retries}  hedges {self.hedges}  "
+                f"dead-letters {self.dead_letters}  "
+                f"goodput {100 * self.goodput:.1f}%"
+            )
+        if self.replacements:
+            lines.append(
+                "replacements: "
+                + "  ".join(f"{old}->{new}" for _, old, new in self.replacements)
+            )
+        if self.health_transitions:
+            terminal: dict[str, str] = {}
+            for transition in self.health_transitions:
+                terminal[transition.chip_id] = transition.target
+            lines.append(
+                "health: "
+                + "  ".join(
+                    f"{chip}={state}" for chip, state in sorted(terminal.items())
+                )
             )
         if self.recalibrations:
             lines.append(

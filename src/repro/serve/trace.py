@@ -136,6 +136,17 @@ class ReplayTrace(ArrivalTrace):
             )
         return list(self.ticks[:count])
 
+    @classmethod
+    def from_trace(cls, trace: ArrivalTrace, count: int) -> "ReplayTrace":
+        """Freeze another trace's schedule for ``count`` requests.
+
+        Pins a generated (possibly seeded-random) trace to an explicit
+        arrival list, so two runs — e.g. the reproducibility pair of the
+        chaos bench — replay *literally* the same ticks rather than two
+        draws of the same distribution.
+        """
+        return cls(tuple(int(tick) for tick in trace.schedule(count)))
+
 
 TRACES = {
     UniformTrace.name: UniformTrace,

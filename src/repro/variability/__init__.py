@@ -20,11 +20,20 @@ from repro.variability.models import (
     variance_model_by_name,
 )
 from repro.variability.sampler import ChipVariation, VariabilitySampler, VariabilitySpec
-from repro.variability.injection import VariabilityInjector, clear_variation, inject_variation
+from repro.variability.injection import (
+    VariabilityInjector,
+    clear_variation,
+    inject_variation,
+    restore_variation,
+    snapshot_variation,
+)
 from repro.variability.faults import (
     FaultSpec,
+    apply_stuck_codes,
     evaluate_fault_robustness,
     inject_faults,
+    layer_fault_masks,
+    stuck_masks,
 )
 
 __all__ = [
@@ -38,7 +47,12 @@ __all__ = [
     "VariabilityInjector",
     "inject_variation",
     "clear_variation",
+    "snapshot_variation",
+    "restore_variation",
     "FaultSpec",
     "inject_faults",
     "evaluate_fault_robustness",
+    "stuck_masks",
+    "layer_fault_masks",
+    "apply_stuck_codes",
 ]

@@ -11,10 +11,19 @@ The perturbation is expressed as an additive delta on the dequantized
 weights and installed through the existing injection interface (naive mode:
 the delta is a constant in the autograd graph — faults are an inference
 phenomenon, not a training signal).
+
+The same defect model also drives *live* fleets: the serving chaos harness
+(:mod:`repro.serve.faults`) applies a :class:`FaultSpec` through each
+chip's owning backend via the shared helpers here —
+:func:`layer_fault_masks` (deterministic per-layer-name mask draws, so the
+fake-quant and circuit realizations of one chip pin the *same* logical
+cells) and :func:`apply_stuck_codes` (in-place pinning in integer code
+space, representable on both fidelities).
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -65,12 +74,68 @@ class FaultSpec:
         return self.p_stuck_off + self.p_stuck_on
 
 
+def stuck_masks(
+    shape: tuple, spec: FaultSpec, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """One uniform draw split into ``(stuck_off, stuck_on)`` boolean masks.
+
+    A single ``rng.random`` tensor partitions every cell into stuck-off
+    (``u < p_off``), stuck-on (``p_off <= u < p_off + p_on``), or healthy —
+    so the two defect kinds never collide and the total rate is exact.
+    """
+    u = rng.random(shape)
+    stuck_off = u < spec.p_stuck_off
+    stuck_on = (u >= spec.p_stuck_off) & (u < spec.rate)
+    return stuck_off, stuck_on
+
+
+def layer_fault_masks(
+    name: str, shape: tuple, spec: FaultSpec, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic per-layer masks keyed by the layer's dotted name.
+
+    Seeded like :meth:`~repro.variability.sampler.ChipVariation.epsilon_for`
+    (name digest + seed), so every backend realizing the same chip draws
+    the *same* fault map for the same layer — the property the fake-quant
+    vs circuit fault-parity test locks in.  ``shape`` is the fake-quant
+    weight tensor's shape on both paths (the circuit path transposes the
+    masks into its code layout afterwards).
+    """
+    rng = np.random.default_rng(
+        (int(seed), zlib.crc32(f"fault:{name}".encode("utf-8")))
+    )
+    return stuck_masks(shape, spec, rng)
+
+
+def apply_stuck_codes(
+    codes: np.ndarray,
+    stuck_off: np.ndarray,
+    stuck_on: np.ndarray,
+    qmin: int,
+    qmax: int,
+) -> int:
+    """Pin stuck cells *in place* in integer weight-code space.
+
+    Stuck-off cells read 0; stuck-on cells read the largest magnitude that
+    is representable in both directions of the code range
+    (``min(max|codes|, qmax, -qmin)``), signed like the original weight so
+    the differential mapping stays consistent.  Operating in code space
+    keeps the fake-quant realization (codes * scale written back into the
+    replica's weights) and the circuit realization (codes reprogrammed
+    onto crossbar tiles) numerically identical.  Returns the stuck count.
+    """
+    magnitude = float(np.max(np.abs(codes))) if codes.size else 0.0
+    pin = min(magnitude if magnitude > 0.0 else 1.0, float(qmax), float(-qmin))
+    signs = np.where(codes >= 0, 1.0, -1.0)
+    codes[stuck_off] = 0.0
+    codes[stuck_on] = (signs * pin)[stuck_on]
+    return int(np.count_nonzero(stuck_off | stuck_on))
+
+
 def fault_delta(layer, spec: FaultSpec, rng: np.random.Generator) -> np.ndarray:
     """Additive delta realizing one sampled fault map on a quantized layer."""
     w_ideal = layer.dequantized_weight()
-    u = rng.random(w_ideal.shape)
-    stuck_off = u < spec.p_stuck_off
-    stuck_on = (u >= spec.p_stuck_off) & (u < spec.rate)
+    stuck_off, stuck_on = stuck_masks(w_ideal.shape, spec, rng)
     w_max = float(np.max(np.abs(w_ideal))) or 1.0
     target = w_ideal.copy()
     target[stuck_off] = 0.0
@@ -106,15 +171,21 @@ def evaluate_fault_robustness(
     """Mean accuracy over independently sampled fault maps.
 
     The fault-map population plays the role of the chip population in the
-    paper's variability protocol.
+    paper's variability protocol.  The model's prior variation state is
+    snapshotted and restored afterwards (not blindly cleared), so faults
+    can be evaluated on a model that already carries an installed chip
+    variation without silently erasing it.
     """
     from repro.eval.robustness import RobustnessResult, _dataset_accuracy
-    from repro.variability.injection import clear_variation
+    from repro.variability.injection import restore_variation, snapshot_variation
 
     model.eval()
+    snapshot = snapshot_variation(model)
     result = RobustnessResult()
-    for index in range(num_maps):
-        inject_faults(model, spec, seed=seed + index)
-        result.accuracies.append(_dataset_accuracy(model, dataset, batch_size))
-    clear_variation(model)
+    try:
+        for index in range(num_maps):
+            inject_faults(model, spec, seed=seed + index)
+            result.accuracies.append(_dataset_accuracy(model, dataset, batch_size))
+    finally:
+        restore_variation(model, snapshot)
     return result

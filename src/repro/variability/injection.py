@@ -71,3 +71,30 @@ def clear_variation(model) -> None:
     for _, layer in _quantized_layers(model):
         layer.set_variation(None, None, "reparameterized")
         layer.current_chip = None
+
+
+def snapshot_variation(model) -> list:
+    """Capture every quantized layer's installed variation state.
+
+    Returns an opaque snapshot for :func:`restore_variation`.  Evaluation
+    protocols that temporarily install their own perturbation (e.g.
+    :func:`repro.variability.faults.evaluate_fault_robustness`) use the
+    pair to hand the model back exactly as they found it — clearing
+    unconditionally would erase a pre-installed chip variation.
+    """
+    return [
+        (layer, layer._epsilon, layer._variance_model, layer._injection_mode,
+         layer.current_chip)
+        for _, layer in _quantized_layers(model)
+    ]
+
+
+def restore_variation(model, snapshot: list) -> None:
+    """Reinstall a state captured by :func:`snapshot_variation`.
+
+    ``model`` is accepted for call-site symmetry (the snapshot itself
+    holds the layer handles).
+    """
+    for layer, epsilon, variance_model, mode, chip in snapshot:
+        layer.set_variation(epsilon, variance_model, mode)
+        layer.current_chip = chip

@@ -7,8 +7,19 @@ from repro.autograd import Tensor, no_grad
 from repro.models import build_model
 from repro.quant import QConfig, QuantLinear, calibrate_model, convert_to_quantized
 from repro.quant.ptq import quantized_layers
-from repro.variability import FaultSpec, clear_variation, evaluate_fault_robustness, inject_faults
+from repro.variability import (
+    FaultSpec,
+    VariabilitySampler,
+    VariabilitySpec,
+    clear_variation,
+    evaluate_fault_robustness,
+    inject_faults,
+    inject_variation,
+    layer_fault_masks,
+    stuck_masks,
+)
 from repro.variability.faults import fault_delta
+from repro.variability.models import WeightProportionalVariance
 
 
 @pytest.fixture
@@ -125,3 +136,119 @@ class TestFaultRobustness:
         # and the model is left clean.
         assert all(0.0 <= a <= 1.0 for a in mild.accuracies + severe.accuracies)
         assert not any(layer.has_variation for _, layer in quantized_layers(qmodel))
+
+    def test_restores_prior_variation_instead_of_clearing(self, qmodel):
+        """A model already carrying a chip variation must come back with it
+        — evaluate_fault_robustness snapshots and restores, not clears."""
+        rng = np.random.default_rng(9)
+        from repro.datasets.synthetic import ArrayDataset
+
+        dataset = ArrayDataset(
+            rng.normal(size=(16, 1, 28, 28)), rng.integers(0, 10, 16), 10
+        )
+        spec = VariabilitySpec.mixed(0.2, WeightProportionalVariance())
+        chip = VariabilitySampler(spec, seed=4).sample_chip()
+        inject_variation(qmodel, chip, spec)
+        x = rng.normal(size=(4, 1, 28, 28))
+        with no_grad():
+            before = qmodel(Tensor(x)).data
+        evaluate_fault_robustness(qmodel, dataset, FaultSpec(0.1, 0.05), num_maps=2)
+        assert all(layer.has_variation for _, layer in quantized_layers(qmodel))
+        with no_grad():
+            after = qmodel(Tensor(x)).data
+        assert np.array_equal(before, after)
+        clear_variation(qmodel)
+
+    def test_restore_survives_an_evaluation_error(self, qmodel):
+        """The finally-path restore: a crash mid-protocol must not leave the
+        model wearing a fault map."""
+        with no_grad():
+            clean = qmodel(Tensor(np.zeros((1, 1, 28, 28)))).data
+        with pytest.raises(TypeError):
+            evaluate_fault_robustness(
+                qmodel, object(), FaultSpec(p_stuck_off=0.3), num_maps=2
+            )
+        with no_grad():
+            restored = qmodel(Tensor(np.zeros((1, 1, 28, 28)))).data
+        assert np.array_equal(clean, restored)
+
+
+class TestMaskHelpers:
+    def test_stuck_masks_are_disjoint_and_rate_exact(self):
+        rng = np.random.default_rng(0)
+        off, on = stuck_masks((200, 200), FaultSpec(0.1, 0.05), rng)
+        assert not np.any(off & on)
+        rate = (off.sum() + on.sum()) / off.size
+        assert rate == pytest.approx(0.15, abs=0.01)
+
+    def test_layer_masks_keyed_by_name_and_seed(self):
+        spec = FaultSpec(0.2, 0.1)
+        a = layer_fault_masks("features.0", (8, 8), spec, seed=1)
+        b = layer_fault_masks("features.0", (8, 8), spec, seed=1)
+        c = layer_fault_masks("features.3", (8, 8), spec, seed=1)
+        d = layer_fault_masks("features.0", (8, 8), spec, seed=2)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+        assert not np.array_equal(a[0], c[0]) or not np.array_equal(a[1], c[1])
+        assert not np.array_equal(a[0], d[0]) or not np.array_equal(a[1], d[1])
+
+
+class TestBackendFaultParity:
+    """One (FaultSpec, seed) must pin the same logical cells, with the same
+    values, on a fake-quant replica and a circuit-level PimChip."""
+
+    def _programmed_pair(self, seed=3):
+        from repro.backends import CircuitBackend, FakeQuantBackend
+
+        rng = np.random.default_rng(0)
+        model = convert_to_quantized(
+            build_model("lenet5-mini"), QConfig.from_notation("A8W4")
+        )
+        calibrate_model(model, [rng.normal(size=(8, 1, 28, 28))])
+        model.eval()
+        spec = VariabilitySpec.within_only(0.05, WeightProportionalVariance())
+        variation = VariabilitySampler(spec, seed=seed).sample_chip()
+        fq = FakeQuantBackend(costed=False).program(
+            model, variation, spec=spec, chip_id="parity"
+        )
+        circuit = CircuitBackend(array_rows=64, array_cols=64, costed=False).program(
+            model, variation, spec=spec, chip_id="parity"
+        )
+        return fq, circuit
+
+    @staticmethod
+    def _fq_codes(fq, name):
+        layer = dict(quantized_layers(fq.mapping))[name]
+        qspec = layer.weight_spec
+        codes = np.clip(
+            np.rint(layer.weight.data / float(layer.weight_scale)),
+            qspec.qmin, qspec.qmax,
+        )
+        return codes.reshape(codes.shape[0], -1).T
+
+    def test_fault_rate_accounting_parity(self):
+        fq, circuit = self._programmed_pair()
+        spec = FaultSpec(0.03, 0.02)
+        assert fq.apply_faults(spec, seed=17) == circuit.apply_faults(spec, seed=17) > 0
+
+    def test_faulted_codes_bit_identical_across_backends(self):
+        fq, circuit = self._programmed_pair()
+        spec = FaultSpec(0.05, 0.03)
+        fq.apply_faults(spec, seed=23)
+        circuit.apply_faults(spec, seed=23)
+        for name in circuit.deployed:
+            assert np.array_equal(
+                self._fq_codes(fq, name), circuit.chip.layers[name].codes
+            ), f"{name}: faulted codes diverge between backends"
+
+    def test_different_seeds_pin_different_cells(self):
+        fq, _ = self._programmed_pair()
+        _, circuit = self._programmed_pair()
+        fq.apply_faults(FaultSpec(0.05, 0.03), seed=23)
+        circuit.apply_faults(FaultSpec(0.05, 0.03), seed=24)
+        diverged = any(
+            not np.array_equal(
+                self._fq_codes(fq, name), circuit.chip.layers[name].codes
+            )
+            for name in circuit.deployed
+        )
+        assert diverged

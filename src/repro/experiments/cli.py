@@ -17,6 +17,8 @@ Examples::
         --requests 48 --skip-training
     python -m repro.experiments serve-bench --chaos --num-chips 16 \\
         --requests 256 --skip-training
+    python -m repro.experiments serve-bench --slo --slo-ticks 12 \\
+        --policy latency-aware --requests 128 --skip-training
     python -m repro.experiments lifetime-bench --fleet rram:2,flash:2 \\
         --requests 192 --skip-training
 
@@ -28,7 +30,9 @@ with ``--drift`` the fleet ages under a drift process and the chosen
 policy is raced against round-robin on end-of-trace accuracy, and with
 ``--chaos`` a deterministic fault schedule (chip deaths, stuck-at maps,
 transient errors) hits the fleet mid-trace and the bench reports goodput
-under faults plus a bit-reproducibility check;
+under faults plus a bit-reproducibility check, and with ``--slo`` every
+request carries a deadline and policies race on SLO attainment under a
+reproducibility + violation-ceiling gate;
 ``lifetime-bench`` runs the full lifecycle story (drift, probes,
 recalibrations) across several policies and prints the drift/recovery
 curves.  Results are also appended as JSON under ``--results-dir``.
@@ -273,6 +277,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--goodput-floor", type=float, default=0.95,
         help="exit non-zero when served/(served+dead-lettered) falls below "
         "this fraction (--chaos)",
+    )
+    serve.add_argument(
+        "--slo",
+        action="store_true",
+        help="deadline-bearing workload: every request carries an "
+        "arrival+--slo-ticks deadline; races --policy against "
+        "latency-aware and round-robin on SLO attainment, runs the best "
+        "policy twice to assert bit-reproducibility, and gates on "
+        "--slo-ceiling",
+    )
+    serve.add_argument(
+        "--slo-ticks", type=_positive_int, default=12,
+        help="per-request deadline budget in ticks from arrival (--slo)",
+    )
+    serve.add_argument(
+        "--slo-ceiling", type=float, default=0.15,
+        help="exit non-zero when the best policy's SLO-violation fraction "
+        "exceeds this ceiling (--slo)",
     )
 
     lifetime = commands.add_parser(
@@ -977,15 +999,221 @@ def _cmd_serve_bench_chaos(args) -> int:
     return 0
 
 
+def _slo_serving_run(model, test, eval_spec, args, trace, policy: str) -> dict:
+    """One deadline-bearing serving session under ``policy``.
+
+    The engine runs in continuous-batching mode (the gateway's admission
+    mode) with every request carrying an ``arrival + --slo-ticks``
+    deadline; per-dispatch transient/latency hazards (``--transient-rate``
+    / ``--latency-rate``) supply the retry-parking pressure that makes
+    deadlines losable at all — scheduled deaths/stuck-at events stay with
+    ``--chaos``.
+    """
+    from repro.serve import FaultInjector, FaultPlan, InferenceEngine, ServeConfig
+
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        policy=policy,
+        cache_capacity=args.cache_capacity,
+        seed=args.seed,
+        self_tuning=_self_tuning(args),
+        backend=args.backend,
+        continuous=True,
+    )
+    engine = InferenceEngine(
+        model, eval_spec, args.num_chips, config, fleet_spec=_fleet_spec(args)
+    )
+    engine.warm_up()
+    if policy in ("accuracy-weighted", "drift-aware", "energy-aware", "latency-aware"):
+        engine.probe_fleet(test, k=args.probe_k)
+    if args.transient_rate > 0.0 or args.latency_rate > 0.0:
+        plan = FaultPlan(
+            transient_rate=args.transient_rate,
+            latency_rate=args.latency_rate,
+            deaths=0,
+            stuck_chips=0,
+            seed=args.fault_seed,
+        )
+        FaultInjector(engine, plan).install()
+    workload, labels, ids = _serving_workload(args, test)
+    started = time.perf_counter()
+    outputs = engine.run_trace(workload, trace, ids=ids)
+    seconds = time.perf_counter() - started
+    served = [rid for rid in ids if rid in outputs]
+    correct = sum(
+        int(outputs[rid].argmax() == label)
+        for rid, label in zip(ids, labels)
+        if rid in outputs
+    )
+    telemetry = engine.telemetry
+    finished = telemetry.slo_met + telemetry.slo_violations
+    return {
+        "policy": policy,
+        "engine": engine,
+        "outputs": outputs,
+        "ids": ids,
+        "served": served,
+        "accuracy": correct / len(served) if served else 0.0,
+        "attainment": telemetry.slo_attainment,
+        "violation_fraction": (
+            telemetry.slo_violations / finished if finished else 0.0
+        ),
+        "seconds": seconds,
+    }
+
+
+def _cmd_serve_bench_slo(args) -> int:
+    """Deadline/SLO bench: goodput race plus a reproducibility gate.
+
+    Every request carries an ``arrival + --slo-ticks`` deadline (frozen
+    into a :class:`~repro.serve.trace.ReplayTrace`, so reruns replay
+    literally the same arrivals and deadlines).  ``--policy``,
+    ``latency-aware``, and ``round-robin`` race on SLO attainment; the
+    best policy then runs a second time and its whole observable story —
+    served set, logits, deadline outcomes, dead letters — must be
+    bit-identical.  Divergence, or a violation fraction above
+    ``--slo-ceiling``, is a non-zero exit.
+    """
+    from repro.serve import DeadlineTrace, ReplayTrace
+
+    model, test, eval_spec = _serve_model(args)
+    trace = ReplayTrace.from_trace(
+        DeadlineTrace(_cli_trace(args), slo_ticks=args.slo_ticks), args.requests
+    )
+    policies = list(dict.fromkeys([args.policy, "latency-aware", "round-robin"]))
+    runs = [
+        _slo_serving_run(model, test, eval_spec, args, trace, policy)
+        for policy in policies
+    ]
+    best = max(runs, key=lambda run: (run["attainment"], run["policy"] == args.policy))
+    rerun = _slo_serving_run(model, test, eval_spec, args, trace, best["policy"])
+    best_t, rerun_t = best["engine"].telemetry, rerun["engine"].telemetry
+    reproducible = (
+        best["served"] == rerun["served"]
+        and best_t.slo_met == rerun_t.slo_met
+        and best_t.slo_violations == rerun_t.slo_violations
+        and best_t.slo_series == rerun_t.slo_series
+        and set(best["engine"].dead_letters) == set(rerun["engine"].dead_letters)
+        and all(
+            np.array_equal(best["outputs"][rid], rerun["outputs"][rid])
+            for rid in best["served"]
+        )
+    )
+    rows = [
+        [run["policy"], len(run["served"]),
+         len(run["engine"].dead_letters),
+         run["engine"].telemetry.slo_met,
+         run["engine"].telemetry.slo_violations,
+         f"{100 * run['attainment']:.1f}",
+         f"{run['engine'].telemetry.deadline_headroom.quantile(0.50):.1f}",
+         f"{100 * run['accuracy']:.1f}",
+         f"{args.requests / run['seconds']:.1f}"]
+        for run in runs
+    ]
+    print(
+        format_table(
+            ["policy", "served", "dead-let", "slo met", "violated",
+             "attainment %", "headroom p50", "accuracy %", "req/s"],
+            rows,
+            title=(
+                f"serve-bench --slo {args.model}/{args.notation} "
+                f"{args.num_chips} chips, backend={args.backend}, "
+                f"slo={args.slo_ticks} ticks, trace={args.trace or 'uniform'}, "
+                f"transient={args.transient_rate}"
+            ),
+        )
+    )
+    print(
+        f"\nbest policy: {best['policy']} "
+        f"(attainment {100 * best['attainment']:.1f}%, "
+        f"violations {100 * best['violation_fraction']:.1f}% "
+        f"vs ceiling {100 * args.slo_ceiling:.1f}%)  "
+        f"reproducible: {'yes' if reproducible else 'NO'}"
+    )
+    print("\nbest-policy telemetry:")
+    print(best_t.format())
+    store = ResultStore(args.results_dir)
+    path = store.save(
+        f"serve-bench-slo-{args.model}",
+        {
+            "model": args.model,
+            "notation": args.notation,
+            "backend": args.backend,
+            "num_chips": args.num_chips,
+            "fleet": args.fleet,
+            "requests": args.requests,
+            "seed": args.seed,
+            "slo_ticks": args.slo_ticks,
+            "slo_ceiling": args.slo_ceiling,
+            "transient_rate": args.transient_rate,
+            "latency_rate": args.latency_rate,
+            "fault_seed": args.fault_seed,
+            "best_policy": best["policy"],
+            "reproducible": reproducible,
+            "policies": [
+                {
+                    "policy": run["policy"],
+                    "served": len(run["served"]),
+                    "dead_letters": sorted(run["engine"].dead_letters),
+                    "attainment": run["attainment"],
+                    "violation_fraction": run["violation_fraction"],
+                    "accuracy": run["accuracy"],
+                    "seconds": run["seconds"],
+                    "telemetry": run["engine"].telemetry.report(),
+                }
+                for run in runs
+            ],
+        },
+    )
+    print(f"\nsaved: {path}")
+    # Recorded under the "serving" bench so --slo runs append to the same
+    # BENCH_serving.json trajectory as the other serving benches instead
+    # of resetting it (the recorder drops runs on a bench-name mismatch);
+    # scale.slo_ticks/best_policy mark the entries as SLO runs.
+    _record_bench(
+        args, "serving",
+        {
+            **_bench_metrics(best["engine"], best["seconds"]),
+            "slo_attainment": best["attainment"],
+            "slo_violations": best_t.slo_violations,
+            "slo_met": best_t.slo_met,
+            "rejections": best_t.rejections,
+            "dead_letters": len(best["engine"].dead_letters),
+            "served_accuracy": best["accuracy"],
+        },
+        {
+            **_bench_scale(args, best["engine"]),
+            "slo_ticks": args.slo_ticks,
+            "transient_rate": args.transient_rate,
+            "best_policy": best["policy"],
+        },
+    )
+    if not reproducible:
+        print("ERROR: slo run is not bit-reproducible across reruns")
+        return 1
+    if best["violation_fraction"] > args.slo_ceiling:
+        print(
+            f"ERROR: SLO violation fraction {100 * best['violation_fraction']:.1f}% "
+            f"above ceiling {100 * args.slo_ceiling:.1f}%"
+        )
+        return 1
+    return 0
+
+
 def _cmd_serve_bench(args) -> int:
     from repro.serve import InferenceEngine, ServeConfig
 
-    if args.chaos and args.drift:
-        raise SystemExit("error: --chaos and --drift are separate benches; pick one")
+    if sum((args.chaos, args.drift, args.slo)) > 1:
+        raise SystemExit(
+            "error: --chaos, --drift, and --slo are separate benches; pick one"
+        )
     if args.chaos:
         return _cmd_serve_bench_chaos(args)
     if args.drift:
         return _cmd_serve_bench_drift(args)
+    if args.slo:
+        return _cmd_serve_bench_slo(args)
     model, test, eval_spec = _serve_model(args)
     workload, _, ids = _serving_workload(args, test)
 

@@ -15,11 +15,19 @@ replaced``) from dispatch outcomes and lifecycle probes, and
 :mod:`repro.serve.faults` is the deterministic chaos harness — stuck-at
 fault maps, transient dispatch errors, latency spikes, and hard chip
 deaths injected into a *running* fleet, absorbed by retry/hedging,
-dead-letter records, and spare provisioning.  See
+dead-letter records, and spare provisioning.  :mod:`repro.serve.api`
+puts a client-facing asyncio front end over all of it — the
+:class:`~repro.serve.api.Gateway`: awaitable per-request submission with
+deadlines/SLOs, continuous batching, bounded-queue admission control
+(:class:`~repro.serve.api.Overloaded`), and compilation of every accepted
+session into a bit-replayable
+:class:`~repro.serve.trace.ReplayTrace`.  See
 :class:`~repro.serve.engine.InferenceEngine` for the entry point and
 ``examples/serving_fleet.py`` / ``examples/lifecycle_serving.py`` /
 ``examples/chaos_serving.py`` for end-to-end tours.
 """
+
+from repro.serve.api import Gateway, GatewayConfig, Overloaded, RequestFailed
 
 from repro.backends import (
     BACKENDS,
@@ -62,6 +70,7 @@ from repro.serve.scheduler import (
     AccuracyWeightedPolicy,
     DriftAwarePolicy,
     EnergyAwarePolicy,
+    LatencyAwarePolicy,
     LeastLoadedPolicy,
     RoundRobinPolicy,
     SchedulingPolicy,
@@ -73,6 +82,7 @@ from repro.serve.trace import (
     TRACES,
     ArrivalTrace,
     BurstyTrace,
+    DeadlineTrace,
     PoissonTrace,
     ReplayTrace,
     UniformTrace,
@@ -80,6 +90,10 @@ from repro.serve.trace import (
 )
 
 __all__ = [
+    "Gateway",
+    "GatewayConfig",
+    "Overloaded",
+    "RequestFailed",
     "BACKENDS",
     "Observability",
     "ChipBackend",
@@ -105,6 +119,7 @@ __all__ = [
     "LeastLoadedPolicy",
     "AccuracyWeightedPolicy",
     "DriftAwarePolicy",
+    "LatencyAwarePolicy",
     "POLICIES",
     "make_policy",
     "dispatchable",
@@ -128,6 +143,7 @@ __all__ = [
     "UniformTrace",
     "PoissonTrace",
     "BurstyTrace",
+    "DeadlineTrace",
     "ReplayTrace",
     "TRACES",
     "make_trace",

@@ -72,6 +72,13 @@ class ServeConfig:
     ``health`` parameterizes the per-chip health state machine
     (:class:`repro.serve.health.HealthConfig`).  Both only matter once
     something fails — a fault-free run never parks a request.
+
+    ``continuous`` enables continuous batching: a batch that reaches
+    ``max_batch`` dispatches *inside* :meth:`InferenceEngine.submit`, the
+    moment its last member arrives, instead of waiting for the next tick
+    barrier — the admission mode the :class:`repro.serve.api.Gateway`
+    runs the engine in.  Off by default: the tick-barrier behaviour every
+    pre-gateway trace/bench was recorded under is unchanged.
     """
 
     max_batch: int = 32
@@ -84,6 +91,7 @@ class ServeConfig:
     tracing: bool = True
     retry: RetryPolicy = RetryPolicy()
     health: HealthConfig = HealthConfig()
+    continuous: bool = False
 
 
 @dataclass(frozen=True)
@@ -142,6 +150,7 @@ class FleetSpec:
 
     @property
     def num_chips(self) -> int:
+        """Total fleet size across every technology group."""
         return sum(group.count for group in self.groups)
 
     @classmethod
@@ -180,7 +189,10 @@ class FleetChip:
     — the signal the ``energy-aware`` policy reads.  ``health`` is the
     chip's current state in the :mod:`repro.serve.health` machine; only
     serving states receive traffic
-    (:func:`repro.serve.scheduler.dispatchable`).
+    (:func:`repro.serve.scheduler.dispatchable`).  ``fault_events`` counts
+    every fault this chip has thrown (transients, latency spikes, its
+    death) — the deterministic risk signal the ``latency-aware`` policy
+    steers urgent batches away from.
     """
 
     index: int
@@ -196,6 +208,7 @@ class FleetChip:
     mapping_stale: bool = False
     energy_uj: float = 0.0
     health: str = "healthy"
+    fault_events: int = 0
 
     def __repr__(self) -> str:
         quality = f"{self.quality:.3f}" if self.quality is not None else "unprobed"
@@ -207,12 +220,20 @@ class FleetChip:
 
 @dataclass
 class ServedRequest:
-    """Completed request: output logits plus serving provenance."""
+    """Completed request: output logits plus serving provenance.
+
+    ``deadline`` echoes the absolute deadline tick the request carried
+    (``None`` = best effort) and ``completed_tick`` is the tick it was
+    served at, so ``completed_tick <= deadline`` is the SLO-met predicate
+    without consulting the engine.
+    """
 
     id: str
     output: np.ndarray
     chip_id: str
     queue_ticks: int
+    deadline: int | None = None
+    completed_tick: int = 0
 
 
 class InferenceEngine:
@@ -567,21 +588,72 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # Request lifecycle
     # ------------------------------------------------------------------
-    def submit(self, payload: np.ndarray, request_id: str | None = None) -> Request:
-        """Enqueue one single-sample request at the current tick."""
+    def submit(
+        self,
+        payload: np.ndarray,
+        request_id: str | None = None,
+        deadline: int | None = None,
+    ) -> Request:
+        """Enqueue one single-sample request at the current tick.
+
+        ``deadline`` is the absolute tick the request must complete by
+        (``None`` = best effort).  A request whose deadline has *already*
+        lapsed at admission is dead-lettered on the spot (reason
+        ``"deadline"``, cause ``"expired-at-admit"``) instead of wasting
+        fleet time — it still appears in :attr:`dead_letters` and in SLO
+        telemetry, never in :attr:`completed`.
+
+        With ``ServeConfig.continuous`` on, a submission that fills a
+        batch dispatches it immediately (continuous batching); otherwise
+        batches are only released at the next :meth:`step` tick barrier.
+        Returns the enqueued :class:`~repro.serve.batcher.Request`.
+        """
         if request_id is None:
             request_id = f"req{self._auto_id:06d}"
             self._auto_id += 1
-        request = Request(str(request_id), np.asarray(payload), arrival=self.now)
+        request = Request(
+            str(request_id), np.asarray(payload), arrival=self.now, deadline=deadline
+        )
+        if deadline is not None and deadline < self.now:
+            self._dead_letter(request, "deadline", "expired-at-admit")
+            return request
         self._submit_walls[request.id] = self.obs.clock.now()
         self._first_arrival.setdefault(request.id, self.now)
         self.obs.event("enqueue", request=request.id, tick=self.now)
         self.batcher.submit(request)
+        if self.config.continuous:
+            for batch in self.batcher.ready(self.now):
+                self._dispatch(batch)
         return request
 
     def _dispatch(self, batch: Batch) -> list[ServedRequest]:
         obs = self.obs
         clock = obs.clock
+        # Shed requests whose deadline already lapsed in the queue: serving
+        # them cannot meet the SLO, and their crossbar time is better spent
+        # on requests that can still make it.
+        live = []
+        for request in batch.requests:
+            if request.deadline is not None and request.deadline < self.now:
+                self._dead_letter(
+                    request,
+                    "deadline",
+                    "expired-queued",
+                    attempts=self._attempts.get(request.id, 0),
+                )
+            else:
+                live.append(request)
+        if not live:
+            return []
+        if len(live) != len(batch.requests):
+            batch = Batch(live, formed=batch.formed)
+        obs.event(
+            "queue_wait",
+            batch=batch.size,
+            wait_ticks=batch.max_queue_ticks(),
+            headroom=batch.headroom(),
+            tick=self.now,
+        )
         with obs.span("dispatch", tick=self.now, batch=batch.size) as dispatch_span:
             with obs.span("schedule", policy=self.policy.name) as span:
                 candidates = dispatchable(self.fleet)
@@ -625,7 +697,13 @@ class InferenceEngine:
                 output=outputs[row],
                 chip_id=chip.chip_id,
                 queue_ticks=batch.formed - request.arrival,
+                deadline=request.deadline,
+                completed_tick=self.now,
             )
+            if request.deadline is not None:
+                self.telemetry.record_deadline(
+                    self.now, request.deadline - self.now
+                )
             self._completed[request.id] = done
             self._attempts.pop(request.id, None)
             self._first_arrival.pop(request.id, None)
@@ -660,6 +738,7 @@ class InferenceEngine:
             seconds = clock.now() - started + penalty
         except ChipFault as fault:
             self._last_fault_kind = fault.kind
+            chip.fault_events += 1
             self.telemetry.record_fault(fault.kind, chip.chip_id)
             self.obs.event(
                 "fault", kind=fault.kind, chip=chip.chip_id, tick=self.now,
@@ -682,6 +761,38 @@ class InferenceEngine:
             return None
         return min(others, key=lambda chip: (chip.served_samples, chip.index))
 
+    def _dead_letter(
+        self, request: Request, reason: str, cause: str, attempts: int = 0
+    ) -> None:
+        """Record one request as undeliverable and drop its bookkeeping.
+
+        The single funnel for every give-up path (retry budget exhausted,
+        timeout, lapsed deadline): files the
+        :class:`~repro.serve.faults.DeadLetter`, clears the request's
+        attempt/arrival/latency state, and — when the reason is a lapsed
+        ``deadline`` — books the miss as an SLO violation with its lateness
+        at the tick it was shed.  The engine never raises for a failed
+        request.
+        """
+        letter = DeadLetter(
+            id=request.id,
+            reason=reason,
+            cause=cause,
+            attempts=attempts,
+            tick=self.now,
+        )
+        self._dead_letters[request.id] = letter
+        self._attempts.pop(request.id, None)
+        self._first_arrival.pop(request.id, None)
+        self._submit_walls.pop(request.id, None)
+        self.telemetry.record_dead_letter(reason)
+        if reason == "deadline" and request.deadline is not None:
+            self.telemetry.record_deadline(self.now, request.deadline - self.now)
+        self.obs.event(
+            "dead-letter", request=request.id, reason=reason, cause=cause,
+            tick=self.now,
+        )
+
     def _handle_failed_batch(self, batch: Batch, cause: str) -> None:
         """Park each request for a backoff retry, or dead-letter it.
 
@@ -701,22 +812,7 @@ class InferenceEngine:
             )
             if cycles >= retry.max_attempts or timed_out:
                 reason = "timeout" if timed_out else "retries-exhausted"
-                letter = DeadLetter(
-                    id=request.id,
-                    reason=reason,
-                    cause=cause,
-                    attempts=cycles,
-                    tick=self.now,
-                )
-                self._dead_letters[request.id] = letter
-                self._attempts.pop(request.id, None)
-                self._first_arrival.pop(request.id, None)
-                self._submit_walls.pop(request.id, None)
-                self.telemetry.record_dead_letter(reason)
-                self.obs.event(
-                    "dead-letter", request=request.id, reason=reason, cause=cause,
-                    tick=self.now,
-                )
+                self._dead_letter(request, reason, cause, attempts=cycles)
             else:
                 release = self.now + retry.backoff_for(cycles)
                 self._parked.append((release, request))
@@ -727,15 +823,44 @@ class InferenceEngine:
                 )
 
     def _unpark(self) -> None:
-        """Resubmit parked requests whose backoff has elapsed."""
+        """Resubmit parked requests whose backoff has elapsed.
+
+        A parked request whose deadline lapses *while waiting out its
+        backoff* is dead-lettered here (reason ``"deadline"``, cause
+        ``"expired-parked"``) rather than resubmitted or hedged — its SLO
+        is already lost, so another dispatch cycle would only steal
+        crossbar time from requests that can still meet theirs.
+        """
         if not self._parked:
             return
+        kept: list[tuple[int, Request]] = []
+        expired: list[tuple[int, Request]] = []
+        for release, request in self._parked:
+            if request.deadline is not None and request.deadline < self.now:
+                expired.append((release, request))
+            else:
+                kept.append((release, request))
+        self._parked = kept
+        for _, request in sorted(expired, key=lambda item: (item[0], item[1].id)):
+            self._dead_letter(
+                request,
+                "deadline",
+                "expired-parked",
+                attempts=self._attempts.get(request.id, 0),
+            )
         due = [item for item in self._parked if item[0] <= self.now]
         if not due:
             return
         self._parked = [item for item in self._parked if item[0] > self.now]
         for _, request in sorted(due, key=lambda item: (item[0], item[1].id)):
-            self.batcher.submit(Request(request.id, request.payload, arrival=self.now))
+            self.batcher.submit(
+                Request(
+                    request.id,
+                    request.payload,
+                    arrival=self.now,
+                    deadline=request.deadline,
+                )
+            )
 
     def step(self, ticks: int = 1) -> list[ServedRequest]:
         """Advance the clock and dispatch every batch that becomes due.
@@ -773,7 +898,14 @@ class InferenceEngine:
         re-enters the retry machinery (drain afterwards to settle it).
         """
         for _, request in sorted(self._parked, key=lambda item: (item[0], item[1].id)):
-            self.batcher.submit(Request(request.id, request.payload, arrival=self.now))
+            self.batcher.submit(
+                Request(
+                    request.id,
+                    request.payload,
+                    arrival=self.now,
+                    deadline=request.deadline,
+                )
+            )
         self._parked = []
         served = []
         for batch in self.batcher.flush(self.now):
@@ -827,6 +959,14 @@ class InferenceEngine:
         fault events fire inside :meth:`step`; requests that exhaust
         their retry budget are absent from the result and recorded in
         :attr:`dead_letters`.
+
+        Deadline-bearing traces (a :class:`~repro.serve.trace.DeadlineTrace`
+        wrapper, a :class:`~repro.serve.trace.ReplayTrace` with explicit
+        deadlines — e.g. one compiled by the
+        :class:`repro.serve.api.Gateway`) submit each request with its
+        absolute deadline, shifted by the engine's current tick exactly
+        like the arrival schedule, so SLO accounting and deadline
+        dead-lettering replay bit-identically.
         """
         inputs = np.asarray(inputs)
         if ids is not None:
@@ -837,6 +977,7 @@ class InferenceEngine:
         schedule = trace.schedule(len(inputs))
         if any(b < a for a, b in zip(schedule, schedule[1:])):
             raise ValueError("trace schedule must be non-decreasing")
+        deadlines = trace.deadline_schedule(len(inputs))
         offset = self.now
         submitted: list[Request] = []
         cursor = 0
@@ -844,7 +985,14 @@ class InferenceEngine:
             tick = self.now - offset
             while cursor < len(schedule) and schedule[cursor] <= tick:
                 request_id = None if ids is None else ids[cursor]
-                submitted.append(self.submit(inputs[cursor], request_id))
+                deadline = deadlines[cursor]
+                submitted.append(
+                    self.submit(
+                        inputs[cursor],
+                        request_id,
+                        deadline=None if deadline is None else offset + int(deadline),
+                    )
+                )
                 cursor += 1
             if lifecycle is not None:
                 lifecycle.advance()
@@ -862,6 +1010,16 @@ class InferenceEngine:
     def completed(self) -> dict[str, ServedRequest]:
         """Every completed request so far, keyed by request id."""
         return dict(self._completed)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests in flight but not finished: queued plus retry-parked.
+
+        The backpressure signal the :class:`repro.serve.api.Gateway`'s
+        admission control reads — once it exceeds the gateway's bound, new
+        submissions are rejected with ``Overloaded`` instead of queued.
+        """
+        return len(self.batcher) + len(self._parked)
 
     @property
     def dead_letters(self) -> dict[str, DeadLetter]:

@@ -289,6 +289,10 @@ class FaultInjector:
                 raise ChipFault("transient", chip.chip_id)
         if self.plan.latency_rate > 0.0:
             if self._hazard_rng.random() < self.plan.latency_rate:
+                # Spikes slow a dispatch rather than fail it, so the engine's
+                # ChipFault handler never sees them — count the risk signal
+                # for latency-aware scheduling here instead.
+                chip.fault_events = getattr(chip, "fault_events", 0) + 1
                 self.engine.telemetry.record_fault("latency-spike", chip.chip_id)
                 self.engine.obs.event(
                     "fault.latency", chip=chip.chip_id, seconds=self.plan.latency_seconds

@@ -27,7 +27,13 @@ quality), never the programmed mappings themselves.
   contenders; the ordering becomes load-bearing once fleets mix design
   points with distinct per-batch costs (per-group backends, per-device
   energy models) — the seed of the ROADMAP's energy-aware-scheduling
-  follow-up.
+  follow-up;
+* ``latency-aware`` — deadline-racing dispatch: a batch with thin
+  deadline headroom (:meth:`repro.serve.batcher.Batch.headroom`) goes to
+  the chip least likely to cost a retry park (fewest observed fault
+  events), everything else dispatches quality-first like ``drift-aware``
+  — the policy the SLO-bearing gateway path (:mod:`repro.serve.api`) is
+  meant to run under.
 
 Policies never see unhealthy hardware: the engine filters the fleet
 through :func:`dispatchable` first, so quarantined/retired/replaced chips
@@ -232,12 +238,77 @@ class EnergyAwarePolicy(SchedulingPolicy):
         )
 
 
+class LatencyAwarePolicy(SchedulingPolicy):
+    """Race deadline misses against accuracy: urgency flips the dispatch rule.
+
+    A deadline in this stack is lost to *queueing*, not to raw forward
+    speed — and the queueing a policy can still influence at dispatch time
+    is the retry path: a chip that throws a transient fault costs the whole
+    batch a backoff park of several ticks, which is exactly what a batch
+    with thin deadline headroom cannot afford.  So the policy reads
+    :meth:`repro.serve.batcher.Batch.headroom`:
+
+    * **urgent** (headroom ``<= urgent_ticks``) — dispatch to the chip
+      least likely to burn the remaining headroom: fewest observed fault
+      events (transients, latency spikes — the engine counts them on the
+      chip handle), ties broken least-loaded.  Accuracy is deliberately
+      not consulted: a slightly-worse answer inside the deadline beats a
+      better answer after it.
+    * **relaxed** (ample or no headroom constraint) — quality-first with
+      the same contender rule as ``drift-aware``: chips within
+      ``tie_margin`` of the best quality estimate are interchangeable and
+      balanced least-loaded.
+
+    Both arms read only deterministic counters (fault events, served
+    samples, probed quality), never wall-clock service times, so a
+    deadline-bearing run stays bit-reproducible under replay.
+    """
+
+    name = "latency-aware"
+
+    def __init__(
+        self,
+        urgent_ticks: int = 2,
+        floor: float = 1e-3,
+        tie_margin: float = 0.01,
+    ) -> None:
+        if urgent_ticks < 0:
+            raise ValueError("urgent_ticks must be >= 0")
+        if tie_margin < 0.0:
+            raise ValueError("tie_margin must be >= 0")
+        self.urgent_ticks = int(urgent_ticks)
+        self.floor = float(floor)
+        self.tie_margin = float(tie_margin)
+
+    def _weight(self, chip) -> float:
+        quality = chip.quality if chip.quality is not None else 1.0
+        return max(float(quality), self.floor)
+
+    def choose(self, batch, chips):
+        headroom = batch.headroom() if hasattr(batch, "headroom") else None
+        if headroom is not None and headroom <= self.urgent_ticks:
+            return min(
+                chips,
+                key=lambda chip: (
+                    getattr(chip, "fault_events", 0),
+                    chip.served_samples,
+                    chip.index,
+                ),
+            )
+        best = max(self._weight(chip) for chip in chips)
+        contenders = [
+            chip for chip in chips if self._weight(chip) >= best - self.tie_margin
+        ]
+        return min(contenders, key=lambda chip: (chip.served_samples, chip.index))
+
+
 POLICIES = {
     RoundRobinPolicy.name: RoundRobinPolicy,
     LeastLoadedPolicy.name: LeastLoadedPolicy,
     AccuracyWeightedPolicy.name: AccuracyWeightedPolicy,
     DriftAwarePolicy.name: DriftAwarePolicy,
     EnergyAwarePolicy.name: EnergyAwarePolicy,
+    LatencyAwarePolicy.name: LatencyAwarePolicy,
 }
 
 

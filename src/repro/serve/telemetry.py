@@ -43,7 +43,12 @@ class ServeTelemetry:
       dead-letter counters, recorded health transitions, spare-provisioning
       replacements, and ``goodput`` (served / (served + dead-lettered)),
       the chaos bench's acceptance metric.  All land in the ``faults``
-      section of :meth:`report`.
+      section of :meth:`report`;
+    * SLO accounting — deadline outcomes (:meth:`record_deadline`:
+      met/violated counters, headroom and lateness tick histograms, the
+      violations-over-time ``slo_series``) and admission rejections
+      (:meth:`record_rejection`), the ``slo`` section the ``serve-bench
+      --slo`` gate and the :class:`~repro.serve.api.Gateway` read.
 
     ``attach_cache`` links the engine's :class:`~repro.serve.cache.MappingCache`
     so its hit/miss/invalidation stats appear in :meth:`report` and
@@ -98,6 +103,28 @@ class ServeTelemetry:
         self._faults = self.registry.counter(
             "serve_faults_total", "chip fault events (all kinds)"
         )
+        self._slo_met = self.registry.counter(
+            "serve_slo_met_total", "deadline-bearing requests served in time"
+        )
+        self._slo_violations = self.registry.counter(
+            "serve_slo_violations_total",
+            "deadline-bearing requests served late or expired",
+        )
+        self._rejections = self.registry.counter(
+            "serve_rejections_total", "requests rejected at admission (backpressure)"
+        )
+        # Tick-valued like queue_ticks: a tight low edge plus an underflow
+        # bucket for the zero-headroom / zero-lateness edge.
+        self.deadline_headroom = self.registry.histogram(
+            "serve_deadline_headroom_ticks",
+            "ticks of slack left when a deadline-bearing request completed",
+            lo=0.5, hi=1e5, buckets_per_decade=20,
+        )
+        self.deadline_lateness = self.registry.histogram(
+            "serve_deadline_lateness_ticks",
+            "ticks past deadline for requests that missed their SLO",
+            lo=0.5, hi=1e5, buckets_per_decade=20,
+        )
         self.per_chip_samples: dict[str, int] = defaultdict(int)
         self.per_chip_energy_uj: dict[str, float] = defaultdict(float)
         self.recalibrations: dict[str, int] = defaultdict(int)
@@ -108,6 +135,10 @@ class ServeTelemetry:
         self.dead_letter_reasons: dict[str, int] = defaultdict(int)
         self.health_transitions: list = []
         self.replacements: list[tuple[float, str, str]] = []
+        #: ``(tick, met_total, violations_total)`` after every deadline
+        #: outcome — the SLO-violation-over-time series the ``--slo`` bench
+        #: plots and gates on.
+        self.slo_series: list[tuple[int, int, int]] = []
         self._cache = None
 
     # ------------------------------------------------------------------
@@ -180,6 +211,27 @@ class ServeTelemetry:
         self._dead_letters.inc()
         self.dead_letter_reasons[reason] += 1
 
+    def record_deadline(self, tick: int, headroom: int) -> None:
+        """Account one deadline outcome at ``tick``.
+
+        ``headroom`` is ``deadline - completion tick``: non-negative counts
+        as SLO met (with that many ticks of slack), negative as an SLO
+        violation ``-headroom`` ticks late.  Requests dead-lettered for an
+        expired deadline are violations too — the engine reports their
+        lateness at the tick they were shed.
+        """
+        if headroom >= 0:
+            self._slo_met.inc()
+            self.deadline_headroom.update(headroom)
+        else:
+            self._slo_violations.inc()
+            self.deadline_lateness.update(-headroom)
+        self.slo_series.append((int(tick), self.slo_met, self.slo_violations))
+
+    def record_rejection(self) -> None:
+        """Account one request refused at admission (queue full)."""
+        self._rejections.inc()
+
     def record_health_transition(self, transition) -> None:
         """Append one :class:`~repro.serve.health.HealthTransition`."""
         self.health_transitions.append(transition)
@@ -230,6 +282,29 @@ class ServeTelemetry:
     @property
     def faults(self) -> int:
         return self._faults.value
+
+    @property
+    def slo_met(self) -> int:
+        return self._slo_met.value
+
+    @property
+    def slo_violations(self) -> int:
+        return self._slo_violations.value
+
+    @property
+    def rejections(self) -> int:
+        return self._rejections.value
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of deadline-bearing requests that met their deadline.
+
+        1.0 when no request carried a deadline — a deadline-free run
+        trivially violates nothing, which keeps the ``--slo`` ceiling gate
+        meaningful only on deadline-bearing workloads.
+        """
+        finished = self.slo_met + self.slo_violations
+        return self.slo_met / finished if finished else 1.0
 
     @property
     def goodput(self) -> float:
@@ -290,6 +365,18 @@ class ServeTelemetry:
             "quality_series": {
                 chip: [{"time": float(time), "accuracy": float(q)} for time, q in series]
                 for chip, series in self.quality_series.items()
+            },
+            "slo": {
+                "met": self.slo_met,
+                "violations": self.slo_violations,
+                "attainment": float(self.slo_attainment),
+                "rejections": self.rejections,
+                "headroom_ticks": self._meter_section(self.deadline_headroom),
+                "lateness_ticks": self._meter_section(self.deadline_lateness),
+                "series": [
+                    {"tick": tick, "met": met, "violations": violations}
+                    for tick, met, violations in self.slo_series
+                ],
             },
             "faults": {
                 "total": self.faults,
@@ -364,6 +451,13 @@ class ServeTelemetry:
                 f"energy: total {self.total_energy_uj:.1f} uJ  "
                 f"mean {self.batch_energy_uj.mean:.1f} uJ/batch  "
                 f"{self.energy_per_request_uj:.2f} uJ/request"
+            )
+        if self.slo_met or self.slo_violations or self.rejections:
+            lines.append(
+                f"slo: {self.slo_met} met / {self.slo_violations} violated "
+                f"(attainment {100 * self.slo_attainment:.1f}%)  "
+                f"rejections {self.rejections}  "
+                f"headroom p50 {self.deadline_headroom.quantile(0.50):.1f} ticks"
             )
         if self.faults or self.dead_letters or self.retries:
             lines.append(

@@ -33,13 +33,24 @@ import numpy as np
 
 
 class ArrivalTrace:
-    """Assigns arrival ticks to a request stream."""
+    """Assigns arrival ticks (and optionally deadlines) to a request stream."""
 
     name = "base"
 
     def schedule(self, count: int) -> list[int]:
         """Non-decreasing arrival tick for each of ``count`` requests."""
         raise NotImplementedError
+
+    def deadline_schedule(self, count: int) -> list:
+        """Per-request absolute deadline ticks (``None`` = no deadline).
+
+        Deadlines are relative to the trace's own tick 0, exactly like
+        :meth:`schedule`; ``InferenceEngine.run_trace`` shifts both by the
+        engine's current tick.  The base trace carries no deadlines — wrap
+        any trace in a :class:`DeadlineTrace` to attach a per-request SLO,
+        or hand :class:`ReplayTrace` explicit deadlines.
+        """
+        return [None] * count
 
 
 @dataclass(frozen=True)
@@ -116,10 +127,44 @@ class BurstyTrace(ArrivalTrace):
 
 
 @dataclass(frozen=True)
+class DeadlineTrace(ArrivalTrace):
+    """Attach a per-request SLO to any arrival trace.
+
+    Every request of the wrapped trace gets the absolute deadline
+    ``arrival tick + slo_ticks`` — the uniform-SLO workload the
+    ``serve-bench --slo`` gate measures.  The wrapped trace's arrival
+    schedule is passed through untouched, so a deadline-bearing run sees
+    exactly the traffic of its deadline-free twin.
+    """
+
+    inner: ArrivalTrace
+    slo_ticks: int
+
+    name = "deadline"
+
+    def __post_init__(self) -> None:
+        if self.slo_ticks < 1:
+            raise ValueError(f"slo_ticks must be >= 1, got {self.slo_ticks}")
+
+    def schedule(self, count: int) -> list[int]:
+        return self.inner.schedule(count)
+
+    def deadline_schedule(self, count: int) -> list:
+        return [tick + self.slo_ticks for tick in self.inner.schedule(count)]
+
+
+@dataclass(frozen=True)
 class ReplayTrace(ArrivalTrace):
-    """Replay explicit arrival ticks (e.g. captured from a request log)."""
+    """Replay explicit arrival ticks (e.g. captured from a request log).
+
+    ``deadlines``, when given, replays per-request absolute deadline ticks
+    alongside the arrivals — the shape the :class:`repro.serve.api.Gateway`
+    compiles an accepted live run into, so an async session can be re-run
+    offline bit-for-bit.
+    """
 
     ticks: tuple[int, ...]
+    deadlines: tuple | None = None
 
     name = "replay"
 
@@ -128,6 +173,11 @@ class ReplayTrace(ArrivalTrace):
             raise ValueError("replayed arrival ticks must be non-decreasing")
         if any(t < 0 for t in self.ticks):
             raise ValueError("arrival ticks must be non-negative")
+        if self.deadlines is not None:
+            if len(self.deadlines) != len(self.ticks):
+                raise ValueError(
+                    f"got {len(self.deadlines)} deadlines for {len(self.ticks)} arrivals"
+                )
 
     def schedule(self, count: int) -> list[int]:
         if count > len(self.ticks):
@@ -136,6 +186,15 @@ class ReplayTrace(ArrivalTrace):
             )
         return list(self.ticks[:count])
 
+    def deadline_schedule(self, count: int) -> list:
+        if self.deadlines is None:
+            return [None] * count
+        if count > len(self.deadlines):
+            raise ValueError(
+                f"trace has {len(self.deadlines)} deadlines, {count} requests submitted"
+            )
+        return list(self.deadlines[:count])
+
     @classmethod
     def from_trace(cls, trace: ArrivalTrace, count: int) -> "ReplayTrace":
         """Freeze another trace's schedule for ``count`` requests.
@@ -143,9 +202,20 @@ class ReplayTrace(ArrivalTrace):
         Pins a generated (possibly seeded-random) trace to an explicit
         arrival list, so two runs — e.g. the reproducibility pair of the
         chaos bench — replay *literally* the same ticks rather than two
-        draws of the same distribution.
+        draws of the same distribution.  Deadlines (a wrapped
+        :class:`DeadlineTrace`, a deadline-bearing replay) are frozen too.
         """
-        return cls(tuple(int(tick) for tick in trace.schedule(count)))
+        deadlines = trace.deadline_schedule(count)
+        frozen = (
+            None
+            if all(deadline is None for deadline in deadlines)
+            else tuple(
+                None if deadline is None else int(deadline) for deadline in deadlines
+            )
+        )
+        return cls(
+            tuple(int(tick) for tick in trace.schedule(count)), deadlines=frozen
+        )
 
 
 TRACES = {

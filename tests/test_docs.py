@@ -1,0 +1,131 @@
+"""Docs stay true: docstring coverage, link integrity, runnable quickstart.
+
+Three guards that keep the documentation from rotting:
+
+1. every name exported from ``repro.serve`` (and every public method on
+   the serving surface a user actually touches) carries a real
+   docstring;
+2. every relative markdown link in ``docs/`` and the README points at a
+   file that exists;
+3. the README "Serve a request" quickstart actually runs — extracted
+   from the README itself and executed, so the first code a reader sees
+   can never silently break.
+"""
+
+import inspect
+import re
+from pathlib import Path
+
+import pytest
+
+import repro.serve as serve
+from repro.serve import (
+    FleetSpec,
+    Gateway,
+    GatewayConfig,
+    InferenceEngine,
+    MicroBatcher,
+    SchedulingPolicy,
+    ServeConfig,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOCS = sorted((REPO_ROOT / "docs").glob("*.md"))
+README = REPO_ROOT / "README.md"
+
+#: The classes a serving user touches directly; their public methods and
+#: properties must each explain themselves.
+SURFACE = [
+    ServeConfig,
+    InferenceEngine,
+    FleetSpec,
+    MicroBatcher,
+    SchedulingPolicy,
+    Gateway,
+    GatewayConfig,
+]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+
+
+def _has_doc(obj) -> bool:
+    doc = inspect.getdoc(obj)
+    return bool(doc and doc.strip())
+
+
+class TestDocstrings:
+    def test_serve_module_docstring(self):
+        assert _has_doc(serve)
+
+    @pytest.mark.parametrize("name", sorted(serve.__all__))
+    def test_every_export_documented(self, name):
+        obj = getattr(serve, name)
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            return  # registries/constants (POLICIES, TRACES, ...) carry no __doc__
+        assert _has_doc(obj), f"repro.serve.{name} has no docstring"
+
+    @pytest.mark.parametrize("cls", SURFACE, ids=lambda cls: cls.__name__)
+    def test_public_surface_methods_documented(self, cls):
+        assert _has_doc(cls), f"{cls.__name__} has no class docstring"
+        undocumented = []
+        for name, member in inspect.getmembers(cls):
+            if name.startswith("_"):
+                continue
+            if isinstance(inspect.getattr_static(cls, name, None), property):
+                target = inspect.getattr_static(cls, name).fget
+            elif callable(member):
+                target = member
+            else:
+                continue  # dataclass fields etc. are documented in the class doc
+            if not _has_doc(target):
+                undocumented.append(name)
+        assert not undocumented, f"{cls.__name__} methods lack docstrings: {undocumented}"
+
+
+class TestDocsTree:
+    def test_docs_index_exists_and_links_every_page(self):
+        index = REPO_ROOT / "docs" / "README.md"
+        assert index.exists(), "docs/README.md index is missing"
+        body = index.read_text()
+        for page in ("architecture.md", "serving.md", "fault-tolerance.md",
+                     "observability.md"):
+            assert page in body, f"docs/README.md does not link {page}"
+            assert (REPO_ROOT / "docs" / page).exists(), f"docs/{page} is missing"
+
+    @pytest.mark.parametrize(
+        "path", [README, *DOCS], ids=lambda p: str(p.relative_to(REPO_ROOT))
+    )
+    def test_relative_links_resolve(self, path):
+        broken = []
+        for target in LINK_RE.findall(path.read_text()):
+            target = target.split()[0]  # drop optional '"title"' suffixes
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append(target)
+        assert not broken, f"{path.name} has broken relative links: {broken}"
+
+
+class TestQuickstart:
+    def _extract(self) -> str:
+        body = README.read_text()
+        match = re.search(
+            r"## Serve a request\s+```python\n(.*?)```", body, re.DOTALL
+        )
+        assert match, "README has no 'Serve a request' python quickstart block"
+        return match.group(1)
+
+    def test_quickstart_is_compact(self):
+        code = self._extract()
+        statements = [
+            line for line in code.splitlines()
+            if line.strip() and not line.strip().startswith("#")
+        ]
+        assert len(statements) <= 40, "quickstart should stay skimmable"
+
+    def test_quickstart_runs(self, capsys):
+        code = self._extract()
+        exec(compile(code, "<README quickstart>", "exec"), {"__name__": "__quickstart__"})
+        out = capsys.readouterr().out
+        assert "answered class" in out, f"quickstart printed nothing useful: {out!r}"

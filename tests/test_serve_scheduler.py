@@ -41,7 +41,7 @@ class TestRegistry:
     def test_registry_names(self):
         assert set(POLICIES) == {
             "round-robin", "least-loaded", "accuracy-weighted", "drift-aware",
-            "energy-aware",
+            "energy-aware", "latency-aware",
         }
 
     def test_make_policy(self):

@@ -15,6 +15,11 @@ Both program the *same physical chip* from the same
 :class:`~repro.variability.sampler.ChipVariation` (layer-keyed epsilon), so
 with an ideal ADC their outputs agree — fleets can be served, probed, and
 recalibrated at either fidelity interchangeably.
+
+:class:`FusedFleetForward` (:mod:`repro.backends.fused`) stacks a whole
+fleet's per-layer state into batched numpy kernels, so the serving engine
+can execute a group of same-sized micro-batches — one per chip — in a
+handful of ``np.matmul`` calls, bit-identical to per-chip dispatch.
 """
 
 from repro.backends.base import (
@@ -30,6 +35,7 @@ from repro.backends.fakequant import (
     FakeQuantChip,
     replicate_for_programming,
 )
+from repro.backends.fused import FusedFleetForward, UnstackableError
 
 __all__ = [
     "BACKENDS",
@@ -43,4 +49,6 @@ __all__ = [
     "CircuitBackend",
     "CircuitChip",
     "layer_epsilon",
+    "FusedFleetForward",
+    "UnstackableError",
 ]

@@ -52,6 +52,23 @@ class ProgrammedChip:
         self._backend_obj = backend_obj
         self._source_model = source_model
         self._obs = None
+        #: Monotone counter of state mutations (refresh, fault pinning).
+        #: Derived views of the programmed state — notably the stacked
+        #: tensors a :class:`~repro.backends.fused.FusedFleetForward`
+        #: holds — compare it against the version they were built from to
+        #: know when they are stale.  A freshly programmed chip is a new
+        #: object at version 0, so (identity, version) pins exactly one
+        #: programmed state.
+        self.version = 0
+
+    def bump_version(self) -> None:
+        """Mark the programmed state as mutated (invalidates fused stacks).
+
+        Subclasses call this from every method that changes what
+        :meth:`forward` would compute — :meth:`refresh` and
+        :meth:`apply_faults` — so cached derivations rebuild lazily.
+        """
+        self.version += 1
 
     def attach_observability(self, obs) -> None:
         """Profile this chip through ``obs`` (a :class:`repro.obs.Observability`).

@@ -77,6 +77,7 @@ class CircuitChip(ProgrammedChip):
                 self.spec.variance_model,
                 eps=layer_epsilon(variation, name, mapped.qlayer),
             )
+        self.bump_version()
 
     def apply_faults(self, spec, seed: int = 0) -> int:
         """Pin stuck cells directly in each mapped layer's weight codes.
@@ -105,6 +106,7 @@ class CircuitChip(ProgrammedChip):
             faulted += apply_stuck_codes(
                 mapped.codes, stuck_off, stuck_on, qspec.qmin, qspec.qmax
             )
+        self.bump_version()
         return faulted
 
     def describe(self) -> dict:

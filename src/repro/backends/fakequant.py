@@ -74,6 +74,7 @@ class FakeQuantChip(ProgrammedChip):
 
     def refresh(self, variation: ChipVariation) -> None:
         inject_variation(self.mapping, variation, self.spec, self.injection_mode)
+        self.bump_version()
 
     def apply_faults(self, spec, seed: int = 0) -> int:
         """Pin stuck cells into the replica's (owned) quantized weights.
@@ -108,6 +109,7 @@ class FakeQuantChip(ProgrammedChip):
                 codes, stuck_off, stuck_on, qspec.qmin, qspec.qmax
             )
             weight[...] = codes * scales
+        self.bump_version()
         return faulted
 
     def describe(self) -> dict:

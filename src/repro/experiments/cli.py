@@ -172,6 +172,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--num-chips", type=_positive_int, default=4)
         sub.add_argument(
+            "--fused",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="batched cross-chip dispatch (bit-identical to per-chip "
+            "dispatch; --no-fused is a debugging/parity aid)",
+        )
+        sub.add_argument(
             "--policy", choices=sorted(SERVE_POLICIES), default=default_policy
         )
         sub.add_argument("--max-batch", type=_positive_int, default=32)
@@ -568,6 +575,7 @@ def _drift_serving_run(model, test, eval_spec, args, policy: str) -> dict:
         seed=args.seed,
         self_tuning=_self_tuning(args),
         backend=args.backend,
+        fused=args.fused,
     )
     engine = InferenceEngine(
         model, eval_spec, args.num_chips, config,
@@ -694,6 +702,7 @@ def _bench_scale(args, engine) -> dict:
         "requests": args.requests,
         "trace": args.trace,
         "seed": args.seed,
+        "fused": bool(getattr(args, "fused", True)),
         **engine.policy.describe(),
     }
 
@@ -822,6 +831,7 @@ def _chaos_serving_run(model, test, eval_spec, args, trace) -> dict:
         seed=args.seed,
         self_tuning=_self_tuning(args),
         backend=args.backend,
+        fused=args.fused,
     )
     engine = InferenceEngine(
         model, eval_spec, args.num_chips, config, fleet_spec=_fleet_spec(args)
@@ -1020,6 +1030,7 @@ def _slo_serving_run(model, test, eval_spec, args, trace, policy: str) -> dict:
         self_tuning=_self_tuning(args),
         backend=args.backend,
         continuous=True,
+        fused=args.fused,
     )
     engine = InferenceEngine(
         model, eval_spec, args.num_chips, config, fleet_spec=_fleet_spec(args)
@@ -1217,7 +1228,7 @@ def _cmd_serve_bench(args) -> int:
     model, test, eval_spec = _serve_model(args)
     workload, _, ids = _serving_workload(args, test)
 
-    def serve(max_batch: int, max_wait: int):
+    def serve(max_batch: int, max_wait: int, fused: bool):
         config = ServeConfig(
             max_batch=max_batch,
             max_wait=max_wait,
@@ -1226,6 +1237,7 @@ def _cmd_serve_bench(args) -> int:
             seed=args.seed,
             self_tuning=_self_tuning(args),
             backend=args.backend,
+            fused=fused,
         )
         engine = InferenceEngine(
             model, eval_spec, args.num_chips, config, fleet_spec=_fleet_spec(args)
@@ -1240,8 +1252,12 @@ def _cmd_serve_bench(args) -> int:
             outputs = engine.run(workload, ids=ids)
         return engine, outputs, time.perf_counter() - started
 
-    sequential, seq_out, seq_seconds = serve(max_batch=1, max_wait=0)
-    batched, batch_out, batch_seconds = serve(args.max_batch, args.max_wait)
+    # The sequential reference is per-request by definition: fusing its
+    # single-sample batches would measure a different baseline.
+    sequential, seq_out, seq_seconds = serve(max_batch=1, max_wait=0, fused=False)
+    batched, batch_out, batch_seconds = serve(
+        args.max_batch, args.max_wait, fused=args.fused
+    )
     mismatched = sum(
         not np.array_equal(seq_out[rid], batch_out[rid]) for rid in ids
     )
@@ -1267,6 +1283,11 @@ def _cmd_serve_bench(args) -> int:
     )
     print("\nbatched engine telemetry:")
     print(batched.telemetry.format())
+    fused_stats = batched.telemetry
+    print(f"fused dispatch: {fused_stats.fused_groups} groups, "
+          f"{fused_stats.fused_batches} batches, "
+          f"{fused_stats.fused_fallback_batches} fallbacks")
+    print(f"telemetry digest: {batched.telemetry.digest()}")
     print()
     _print_span_breakdown(batched, title="per-stage span breakdown (batched)")
     if mismatched:

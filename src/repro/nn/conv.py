@@ -65,7 +65,11 @@ class Conv2dFunction(Function):
         out_channels, in_channels, kh, kw = weight.shape
         cols = im2col(x, (kh, kw), stride, padding)  # (N, Ho, Wo, C*kh*kw)
         w_mat = weight.reshape(out_channels, -1)
-        out = cols @ w_mat.T  # (N, Ho, Wo, out_channels)
+        n, h_out, w_out, patch = cols.shape
+        # One flat GEMM over all output positions beats a broadcast of
+        # (Wo, patch) @ (patch, C_out) micro-GEMMs by a wide margin when
+        # C_out is small (the BLAS call overhead dominates tiny matmuls).
+        out = (cols.reshape(-1, patch) @ w_mat.T).reshape(n, h_out, w_out, out_channels)
         if bias is not None:
             out = out + bias
         self.save_for_backward(cols, w_mat, x.shape, weight.shape)

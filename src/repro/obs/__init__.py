@@ -12,7 +12,8 @@ Production-shaped instrumentation in three layers, all engine-agnostic:
   off);
 * **exporters** (:mod:`repro.obs.export`) — Prometheus text, span JSONL,
   and the schema-versioned :class:`BenchRecorder` behind the repo's
-  ``BENCH_*.json`` perf trajectory.
+  ``BENCH_*.json`` perf trajectory — gated in CI by the same-scale
+  regression comparator in :mod:`repro.obs.bench`.
 
 :class:`Observability` bundles one registry + recorder + clock; the
 serving engine owns one and threads it through every stage of a
@@ -82,6 +83,7 @@ class Observability:
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BenchCheck",
     "BenchRecorder",
     "Clock",
     "Counter",
@@ -95,6 +97,25 @@ __all__ = [
     "Observability",
     "Span",
     "SpanRecorder",
+    "baseline_for",
+    "compare_latest",
     "git_sha",
+    "load_runs",
     "to_prometheus",
 ]
+
+#: Names served lazily from :mod:`repro.obs.bench` — the bench gate is
+#: also a ``python -m repro.obs.bench`` entry point, and an eager import
+#: here would make runpy warn about the module already being loaded.
+_BENCH_GATE_EXPORTS = frozenset(
+    {"BenchCheck", "baseline_for", "compare_latest", "load_runs"}
+)
+
+
+def __getattr__(name: str):
+    """Lazy re-exports of the :mod:`repro.obs.bench` gate API."""
+    if name in _BENCH_GATE_EXPORTS:
+        from repro.obs import bench
+
+        return getattr(bench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,185 @@
+"""Perf-regression gate over the ``BENCH_*.json`` trajectory.
+
+The :class:`~repro.obs.export.BenchRecorder` turns benchmark numbers into
+a trajectory — consecutive commits append comparable runs.  This module
+is the *gate* on that trajectory: :func:`compare_latest` checks the most
+recent run(s) against the last earlier run recorded at the **same
+workload scale** (the ``scale`` dict, compared whole — a run with a
+different backend, chip count, or batch size is a different experiment,
+not a baseline), and flags a regression when the metric dropped by more
+than ``threshold``.
+
+CI runs it as a module::
+
+    python -m repro.obs.bench BENCH_serving.json --check-last 2
+
+which exits non-zero iff any checked run regressed against its baseline.
+A run with no same-scale predecessor passes (first data point at a new
+scale), so adding a new benchmark configuration never trips the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+
+from repro.obs.export import BENCH_SCHEMA
+
+
+@dataclass(frozen=True)
+class BenchCheck:
+    """Verdict for one benchmark run against its same-scale baseline.
+
+    ``baseline`` is ``None`` when the run is the first at its scale (the
+    check passes vacuously); otherwise ``ratio = current / baseline`` and
+    ``regressed`` is whether the drop exceeded the gate's threshold.
+    """
+
+    index: int
+    metric: str
+    current: float
+    baseline: float | None
+    threshold: float
+    scale: dict
+
+    @property
+    def ratio(self) -> float | None:
+        """current/baseline, or ``None`` without a baseline."""
+        if self.baseline is None or self.baseline == 0:
+            return None
+        return self.current / self.baseline
+
+    @property
+    def regressed(self) -> bool:
+        """Whether this run dropped more than ``threshold`` below baseline."""
+        if self.baseline is None:
+            return False
+        return self.current < self.baseline * (1.0 - self.threshold)
+
+    def describe(self) -> str:
+        """One human-readable verdict line (the CLI's output format)."""
+        scale = json.dumps(self.scale, sort_keys=True)
+        if self.baseline is None:
+            return f"PASS  run[{self.index}] {self.metric}={self.current:.6g} (no same-scale baseline) {scale}"
+        verdict = "FAIL" if self.regressed else "PASS"
+        return (
+            f"{verdict}  run[{self.index}] {self.metric}={self.current:.6g} "
+            f"baseline={self.baseline:.6g} ratio={self.ratio:.3f} "
+            f"(floor {1.0 - self.threshold:.2f}) {scale}"
+        )
+
+
+def load_runs(path: str) -> list[dict]:
+    """The run list of one ``BENCH_*.json`` file (schema-checked).
+
+    Raises ``ValueError`` on a foreign schema or malformed payload —
+    the gate must never silently pass because the file it guards became
+    unreadable.
+    """
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != BENCH_SCHEMA
+        or not isinstance(payload.get("runs"), list)
+    ):
+        raise ValueError(f"{path}: not a {BENCH_SCHEMA!r} bench file")
+    return payload["runs"]
+
+
+def scale_key(scale: dict) -> str:
+    """Canonical identity of one workload scale (whole-dict comparison).
+
+    Any difference — an added key like ``fused``, a changed chip count —
+    makes a run a different experiment with its own baseline lineage.
+    """
+    return json.dumps(scale or {}, sort_keys=True, default=str)
+
+
+def baseline_for(runs: list[dict], index: int, metric: str) -> float | None:
+    """The most recent earlier run at ``runs[index]``'s scale, as a metric value.
+
+    Scans backwards from ``index``; returns ``None`` when no earlier run
+    has the same scale dict *and* carries the metric.
+    """
+    target = scale_key(runs[index].get("scale", {}))
+    for run in reversed(runs[:index]):
+        if scale_key(run.get("scale", {})) != target:
+            continue
+        value = run.get("metrics", {}).get(metric)
+        if value is not None:
+            return float(value)
+    return None
+
+
+def compare_latest(
+    runs: list[dict],
+    metric: str = "throughput_sps",
+    threshold: float = 0.2,
+    check_last: int = 1,
+) -> list[BenchCheck]:
+    """Gate the last ``check_last`` runs against their same-scale baselines.
+
+    Runs missing the metric entirely are skipped (they measure something
+    else — e.g. a chaos run recording goodput, not throughput).  Returns
+    one :class:`BenchCheck` per gated run, oldest first.
+    """
+    if not 0.0 <= threshold < 1.0:
+        raise ValueError(f"threshold must be in [0, 1), got {threshold}")
+    checks = []
+    start = max(0, len(runs) - max(1, int(check_last)))
+    for index in range(start, len(runs)):
+        value = runs[index].get("metrics", {}).get(metric)
+        if value is None:
+            continue
+        checks.append(
+            BenchCheck(
+                index=index,
+                metric=metric,
+                current=float(value),
+                baseline=baseline_for(runs, index, metric),
+                threshold=float(threshold),
+                scale=dict(runs[index].get("scale", {})),
+            )
+        )
+    return checks
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: ``python -m repro.obs.bench <file> [--check-last N]``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Fail when the latest BENCH runs regress vs their same-scale baselines.",
+    )
+    parser.add_argument("path", help="BENCH_*.json trajectory file")
+    parser.add_argument(
+        "--check-last", type=int, default=1, metavar="N",
+        help="gate the N most recent runs (default 1)",
+    )
+    parser.add_argument(
+        "--metric", default="throughput_sps",
+        help="metric to gate on (default throughput_sps)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="max allowed fractional drop vs baseline (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+    runs = load_runs(args.path)
+    checks = compare_latest(
+        runs, metric=args.metric, threshold=args.threshold, check_last=args.check_last
+    )
+    if not checks:
+        print(f"no runs carrying {args.metric!r} in the last {args.check_last}")
+        return 0
+    failed = False
+    for check in checks:
+        print(check.describe())
+        failed = failed or check.regressed
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.backends import ChipBackend, ProgrammedChip, make_backend
+from repro.backends import (
+    ChipBackend,
+    FusedFleetForward,
+    ProgrammedChip,
+    UnstackableError,
+    make_backend,
+)
 from repro.datasets.loaders import batch_iterator
 from repro.eval.metrics import topk_accuracy
 from repro.obs import Observability
@@ -79,6 +85,17 @@ class ServeConfig:
     barrier — the admission mode the :class:`repro.serve.api.Gateway`
     runs the engine in.  Off by default: the tick-barrier behaviour every
     pre-gateway trace/bench was recorded under is unchanged.
+
+    ``fused`` enables the batched cross-chip dispatch path: when several
+    batches become due on the same tick, the engine stages them all
+    (scheduling, counters, and SLO shedding in exact per-batch dispatch
+    order) and executes the group through one
+    :class:`~repro.backends.FusedFleetForward` — bit-identical outputs
+    and an identical telemetry :meth:`~repro.serve.telemetry.ServeTelemetry.digest`,
+    just fewer numpy calls.  The engine falls back to per-chip dispatch
+    automatically whenever fusion cannot apply (an installed fault
+    injector, self-tuning corrections, an unstackable fleet, or a
+    single-batch tick), so turning it off is only ever a debugging aid.
     """
 
     max_batch: int = 32
@@ -92,6 +109,7 @@ class ServeConfig:
     retry: RetryPolicy = RetryPolicy()
     health: HealthConfig = HealthConfig()
     continuous: bool = False
+    fused: bool = True
 
 
 @dataclass(frozen=True)
@@ -329,6 +347,12 @@ class InferenceEngine:
         self._sticky_faults: dict[str, tuple[FaultSpec, int]] = {}
         self._generations: dict[int, int] = {}
         self._last_fault_kind = "dispatch-failed"
+        #: Lazily-built fused forward over the whole fleet (or None).
+        self._fused: FusedFleetForward | None = None
+        #: Fleet state key of the last failed fuse attempt — skips
+        #: re-raising :class:`UnstackableError` every tick until the
+        #: fleet's programmed state actually changes.
+        self._fused_failed_key: tuple | None = None
 
     # ------------------------------------------------------------------
     # Fleet programming
@@ -622,8 +646,7 @@ class InferenceEngine:
         self.obs.event("enqueue", request=request.id, tick=self.now)
         self.batcher.submit(request)
         if self.config.continuous:
-            for batch in self.batcher.ready(self.now):
-                self._dispatch(batch)
+            self._dispatch_tick(self.batcher.ready(self.now))
         return request
 
     def _dispatch(self, batch: Batch) -> list[ServedRequest]:
@@ -704,6 +727,230 @@ class InferenceEngine:
                 self.telemetry.record_deadline(
                     self.now, request.deadline - self.now
                 )
+            self._completed[request.id] = done
+            self._attempts.pop(request.id, None)
+            self._first_arrival.pop(request.id, None)
+            submitted_wall = self._submit_walls.pop(request.id, None)
+            if submitted_wall is not None:
+                self.telemetry.record_request_latency(completed_wall - submitted_wall)
+            served.append(done)
+        self.telemetry.record_batch(
+            chip.chip_id,
+            [item.queue_ticks for item in served],
+            seconds,
+            energy_uj=energy_uj,
+        )
+        return served
+
+    # ------------------------------------------------------------------
+    # Fused cross-chip dispatch
+    # ------------------------------------------------------------------
+    def _fusible(self) -> bool:
+        """Whether this tick's batches may take the fused path at all.
+
+        Fault injection perturbs individual dispatch attempts (penalties,
+        mid-flight :class:`~repro.serve.faults.ChipFault`) and self-tuning
+        is per-chip state the stacked kernels refuse — both route every
+        batch through the per-chip path, which is also what keeps chaos
+        runs trivially bit-identical with fusion enabled.
+        """
+        return (
+            self.config.fused
+            and self.faults is None
+            and self.config.self_tuning is None
+        )
+
+    def _fused_for(self) -> FusedFleetForward | None:
+        """The fleet-wide fused forward, rebuilt lazily; None if unstackable.
+
+        Built from the *cache-resident* fleet only, through the cache's
+        stats-neutral :meth:`~repro.serve.cache.MappingCache.peek`: the
+        stack is a derived view, so building it must not program chips,
+        refresh drifted mappings, or perturb hit/miss accounting — cold or
+        stale chips are handled at stage time exactly as per-chip dispatch
+        would, and the stack rebuilds to cover them afterwards.
+
+        Freshness is ``(identity, version)`` via
+        :meth:`~repro.backends.FusedFleetForward.covers`: recalibration and
+        spare provisioning swap chip objects, ``refresh``/``apply_faults``
+        bump versions in place — any of those invalidates the stack.  A
+        fleet that failed to fuse is remembered by its state key so the
+        (validating, raising) build is not retried every tick.
+        """
+        members = []
+        for chip in self.fleet:
+            programmed = self.cache.peek(self.key_for(chip))
+            if programmed is not None:
+                members.append(programmed)
+        if not members:
+            return None
+        if self._fused is not None and self._fused.covers(members):
+            return self._fused
+        self._fused = None
+        key = tuple((id(chip), chip.version) for chip in members)
+        if key == self._fused_failed_key:
+            return None
+        try:
+            with self.obs.span("dispatch.fuse", chips=len(members)) as span:
+                self._fused = FusedFleetForward.build(members)
+                span.set(backend=self._fused.backend)
+        except UnstackableError as reason:
+            self._fused_failed_key = key
+            self.obs.event("fuse.unstackable", reason=str(reason))
+            return None
+        self._fused_failed_key = None
+        return self._fused
+
+    def _dispatch_tick(self, batches) -> list[ServedRequest]:
+        """Dispatch one tick's due batches, fusing them when possible.
+
+        The per-chip fallback (``_dispatch`` per batch) and the fused
+        group produce bit-identical outputs and telemetry digests; the
+        fused path just executes the whole group in one stacked forward.
+        """
+        batches = list(batches)
+        if not batches:
+            return []
+        fused = None
+        if len(batches) > 1 and self._fusible():
+            fused = self._fused_for()
+        if fused is None:
+            served = []
+            for batch in batches:
+                served.extend(self._dispatch(batch))
+            return served
+        clock = self.obs.clock
+        served: list[ServedRequest] = []
+        with self.obs.span(
+            "dispatch.fused", tick=self.now, batches=len(batches)
+        ) as span:
+            staged = [
+                item
+                for item in (self._stage(batch) for batch in batches)
+                if item is not None
+            ]
+            if not staged:
+                span.set(staged=0)
+                return []
+            programmed = [chip_state for _, _, chip_state, _, _ in staged]
+            if not fused.covers(programmed):
+                # A cold chip was programmed during staging (new object
+                # identity) — rebuild once from the now-warm fleet.
+                fused = self._fused_for()
+            if fused is not None and fused.covers(programmed):
+                started = clock.now()
+                outputs = fused.forward(
+                    [(chip_state, inputs) for _, _, chip_state, inputs, _ in staged]
+                )
+                total_seconds = clock.now() - started
+                self.telemetry.record_fused_group(len(staged))
+                span.set(staged=len(staged), seconds=total_seconds)
+                total_rows = sum(batch.size for batch, _, _, _, _ in staged)
+                for (batch, chip, _, _, energy_uj), out in zip(staged, outputs):
+                    # Attribute wall time by row share: service-time
+                    # histograms are report-only (digest excludes wall).
+                    seconds = total_seconds * (batch.size / total_rows)
+                    served.extend(
+                        self._complete(batch, chip, out, seconds, energy_uj)
+                    )
+            else:
+                # Unstackable after staging: finish each staged batch on
+                # its own chip (the assignments are already final).
+                self.telemetry.record_fused_fallback(len(staged))
+                span.set(staged=len(staged), fallback=True)
+                for batch, chip, chip_state, inputs, energy_uj in staged:
+                    started = clock.now()
+                    out = chip_state.forward(inputs)
+                    seconds = clock.now() - started
+                    served.extend(
+                        self._complete(batch, chip, out, seconds, energy_uj)
+                    )
+        return served
+
+    def _stage(self, batch: Batch):
+        """The pre-forward half of :meth:`_dispatch`, for the fused path.
+
+        Sheds lapsed deadlines, schedules, and resolves the mapping —
+        exactly like :meth:`_dispatch` — then advances the chip's served
+        counters *immediately*, so the next batch staged this tick sees
+        the same load state a per-batch dispatch sequence would have
+        produced (load-aware policies make identical choices on both
+        paths).  Returns ``(batch, chip, programmed, inputs, energy_uj)``,
+        or ``None`` when the batch produced no dispatchable work (already
+        dead-lettered or parked for retry, exactly as ``_dispatch`` does).
+        """
+        obs = self.obs
+        live = []
+        for request in batch.requests:
+            if request.deadline is not None and request.deadline < self.now:
+                self._dead_letter(
+                    request,
+                    "deadline",
+                    "expired-queued",
+                    attempts=self._attempts.get(request.id, 0),
+                )
+            else:
+                live.append(request)
+        if not live:
+            return None
+        if len(live) != len(batch.requests):
+            batch = Batch(live, formed=batch.formed)
+        obs.event(
+            "queue_wait",
+            batch=batch.size,
+            wait_ticks=batch.max_queue_ticks(),
+            headroom=batch.headroom(),
+            tick=self.now,
+        )
+        with obs.span("schedule", policy=self.policy.name) as span:
+            candidates = dispatchable(self.fleet)
+            if not candidates:
+                span.set(chip=None)
+                self._handle_failed_batch(batch, cause="no-capacity")
+                return None
+            chip = self.policy.choose(batch, candidates)
+            span.set(chip=chip.chip_id)
+        with obs.span("mapping", chip=chip.chip_id):
+            programmed = self.programmed_for(chip)
+        inputs = batch.inputs()
+        # Book *all* per-batch chip state now, in dispatch order — load-
+        # and energy-aware policies must see exactly the fleet state a
+        # per-batch dispatch sequence would show the next batch.  The
+        # forward cannot fail on this path (no fault injector), so the
+        # health success mark and the deterministic dispatch cost do not
+        # depend on actually having run it yet.
+        self.health.on_success(chip, self.now)
+        cost = programmed.cost(inputs.shape)
+        energy_uj = cost.energy_uj if cost is not None else None
+        if energy_uj is not None:
+            chip.energy_uj += energy_uj
+        chip.served_samples += batch.size
+        chip.served_batches += 1
+        return batch, chip, programmed, inputs, energy_uj
+
+    def _complete(
+        self, batch: Batch, chip: FleetChip, outputs, seconds, energy_uj
+    ) -> list[ServedRequest]:
+        """The post-forward half of :meth:`_dispatch`, for the fused path.
+
+        Books per-request completion and batch telemetry — everything
+        :meth:`_dispatch` does after a successful attempt, *except* the
+        chip-state updates (served counters, energy, health), which
+        :meth:`_stage` already advanced in dispatch order.
+        """
+        completed_wall = self.obs.clock.now()
+        served = []
+        for row, request in enumerate(batch.requests):
+            done = ServedRequest(
+                id=request.id,
+                output=outputs[row],
+                chip_id=chip.chip_id,
+                queue_ticks=batch.formed - request.arrival,
+                deadline=request.deadline,
+                completed_tick=self.now,
+            )
+            if request.deadline is not None:
+                self.telemetry.record_deadline(self.now, request.deadline - self.now)
             self._completed[request.id] = done
             self._attempts.pop(request.id, None)
             self._first_arrival.pop(request.id, None)
@@ -875,8 +1122,7 @@ class InferenceEngine:
                 self.faults.on_tick(self.now)
             self.health.on_tick(self.now, self.fleet)
             self._unpark()
-            for batch in self.batcher.poll(self.now):
-                served.extend(self._dispatch(batch))
+            served.extend(self._dispatch_tick(self.batcher.poll(self.now)))
             self.now += 1
         return served
 
@@ -907,10 +1153,7 @@ class InferenceEngine:
                 )
             )
         self._parked = []
-        served = []
-        for batch in self.batcher.flush(self.now):
-            served.extend(self._dispatch(batch))
-        return served
+        return self._dispatch_tick(self.batcher.flush(self.now))
 
     def run(self, inputs, ids=None) -> dict[str, np.ndarray]:
         """Convenience: submit ``inputs`` now, drain, return ``{id: logits}``.

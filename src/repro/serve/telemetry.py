@@ -113,6 +113,16 @@ class ServeTelemetry:
         self._rejections = self.registry.counter(
             "serve_rejections_total", "requests rejected at admission (backpressure)"
         )
+        self._fused_groups = self.registry.counter(
+            "serve_fused_groups_total", "fused dispatch groups executed"
+        )
+        self._fused_batches = self.registry.counter(
+            "serve_fused_batches_total", "batches served through the fused fleet path"
+        )
+        self._fused_fallbacks = self.registry.counter(
+            "serve_fused_fallback_batches_total",
+            "batches dispatched per-chip while fusion was enabled",
+        )
         # Tick-valued like queue_ticks: a tight low edge plus an underflow
         # bucket for the zero-headroom / zero-lateness edge.
         self.deadline_headroom = self.registry.histogram(
@@ -232,6 +242,15 @@ class ServeTelemetry:
         """Account one request refused at admission (queue full)."""
         self._rejections.inc()
 
+    def record_fused_group(self, batches: int) -> None:
+        """Account one fused dispatch group covering ``batches`` batches."""
+        self._fused_groups.inc()
+        self._fused_batches.inc(int(batches))
+
+    def record_fused_fallback(self, batches: int = 1) -> None:
+        """Account ``batches`` batches dispatched per-chip despite fusion being on."""
+        self._fused_fallbacks.inc(int(batches))
+
     def record_health_transition(self, transition) -> None:
         """Append one :class:`~repro.serve.health.HealthTransition`."""
         self.health_transitions.append(transition)
@@ -296,6 +315,18 @@ class ServeTelemetry:
         return self._rejections.value
 
     @property
+    def fused_groups(self) -> int:
+        return self._fused_groups.value
+
+    @property
+    def fused_batches(self) -> int:
+        return self._fused_batches.value
+
+    @property
+    def fused_fallback_batches(self) -> int:
+        return self._fused_fallbacks.value
+
+    @property
     def slo_attainment(self) -> float:
         """Fraction of deadline-bearing requests that met their deadline.
 
@@ -315,6 +346,63 @@ class ServeTelemetry:
         """
         finished = self.requests + self.dead_letters
         return self.requests / finished if finished else 1.0
+
+    def digest(self) -> str:
+        """SHA-256 over the run's *deterministic* accounting.
+
+        The fused-parity contract in one hash: a ``fused=True`` and a
+        ``fused=False`` run of the same seeded workload must produce the
+        same digest, because fusion may change wall-clock timing and span
+        structure but never what was served, by whom, in which batches,
+        with what queueing, energy, SLO, or fault outcomes.  Wall-time
+        histograms (service/request seconds) and the fused counters
+        themselves are therefore excluded; everything else — request and
+        batch counts, per-chip load and energy, tick-valued histograms,
+        fault/retry/dead-letter accounting, SLO series, lifecycle events
+        — is included.
+        """
+        import hashlib
+        import json
+
+        def hist(histogram: Histogram) -> dict:
+            return histogram.as_dict()
+
+        # Collapse the cumulative SLO series to its last entry per tick:
+        # the fused path stages every same-tick batch before completing
+        # any, so *within* a tick deadline events interleave differently,
+        # but the per-tick end state is the same multiset of events.
+        slo_by_tick: dict[int, tuple[int, int]] = {}
+        for tick, met, violations in self.slo_series:
+            slo_by_tick[int(tick)] = (met, violations)
+
+        payload = {
+            "requests": self.requests,
+            "batches": self.batches,
+            "per_chip_samples": dict(self.per_chip_samples),
+            "per_chip_energy_uj": dict(self.per_chip_energy_uj),
+            "queue_ticks": hist(self.queue_ticks),
+            "batch_size": hist(self.batch_size),
+            "occupancy": hist(self.occupancy),
+            "batch_energy_uj": hist(self.batch_energy_uj),
+            "deadline_headroom": hist(self.deadline_headroom),
+            "deadline_lateness": hist(self.deadline_lateness),
+            "slo": [self.slo_met, self.slo_violations, self.rejections],
+            "slo_series": sorted(slo_by_tick.items()),
+            "faults": [self.faults, self.retries, self.hedges, self.dead_letters],
+            "fault_counts": dict(self.fault_counts),
+            "per_chip_faults": dict(self.per_chip_faults),
+            "dead_letter_reasons": dict(self.dead_letter_reasons),
+            "recalibrations": dict(self.recalibrations),
+            "recalibration_events": self.recalibration_events,
+            "quality_series": dict(self.quality_series),
+            "replacements": self.replacements,
+            "health_transitions": [
+                (t.tick, t.chip_id, t.source, t.target, t.reason)
+                for t in self.health_transitions
+            ],
+        }
+        encoded = json.dumps(payload, sort_keys=True, default=str).encode()
+        return hashlib.sha256(encoded).hexdigest()
 
     @staticmethod
     def _meter_section(histogram: Histogram) -> dict:
@@ -377,6 +465,11 @@ class ServeTelemetry:
                     {"tick": tick, "met": met, "violations": violations}
                     for tick, met, violations in self.slo_series
                 ],
+            },
+            "fused": {
+                "groups": self.fused_groups,
+                "batches": self.fused_batches,
+                "fallback_batches": self.fused_fallback_batches,
             },
             "faults": {
                 "total": self.faults,

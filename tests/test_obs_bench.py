@@ -1,0 +1,161 @@
+"""Tests for the BENCH-trajectory regression gate (:mod:`repro.obs.bench`)."""
+
+import json
+
+import pytest
+
+from repro.obs import BenchRecorder
+from repro.obs.bench import (
+    BenchCheck,
+    baseline_for,
+    compare_latest,
+    load_runs,
+    main,
+    scale_key,
+)
+
+SCALE_A = {"backend": "fake-quant", "num_chips": 2, "fused": True}
+SCALE_B = {"backend": "circuit", "num_chips": 2, "fused": True}
+
+
+def _run(sps, scale):
+    return {"metrics": {"throughput_sps": sps}, "scale": dict(scale)}
+
+
+class TestComparator:
+    def test_no_baseline_passes(self):
+        checks = compare_latest([_run(100.0, SCALE_A)])
+        assert len(checks) == 1
+        assert checks[0].baseline is None
+        assert not checks[0].regressed
+
+    def test_within_threshold_passes(self):
+        runs = [_run(100.0, SCALE_A), _run(85.0, SCALE_A)]
+        (check,) = compare_latest(runs)
+        assert check.baseline == 100.0
+        assert check.ratio == pytest.approx(0.85)
+        assert not check.regressed
+
+    def test_regression_beyond_threshold_fails(self):
+        runs = [_run(100.0, SCALE_A), _run(79.0, SCALE_A)]
+        (check,) = compare_latest(runs)
+        assert check.regressed
+
+    def test_improvement_passes(self):
+        runs = [_run(100.0, SCALE_A), _run(150.0, SCALE_A)]
+        (check,) = compare_latest(runs)
+        assert not check.regressed
+
+    def test_baseline_must_match_whole_scale_dict(self):
+        """A run at a different scale is a different experiment, never a
+        baseline — even when only one key (here the backend) differs."""
+        runs = [_run(100.0, SCALE_A), _run(10.0, SCALE_B)]
+        (check,) = compare_latest(runs)
+        assert check.baseline is None
+        assert not check.regressed
+
+    def test_baseline_skips_interleaved_other_scales(self):
+        runs = [
+            _run(100.0, SCALE_A),
+            _run(40.0, SCALE_B),
+            _run(98.0, SCALE_A),
+        ]
+        (check,) = compare_latest(runs)
+        assert check.baseline == 100.0
+
+    def test_check_last_gates_multiple_runs(self):
+        runs = [
+            _run(100.0, SCALE_A),
+            _run(50.0, SCALE_B),
+            _run(99.0, SCALE_A),
+            _run(49.0, SCALE_B),
+        ]
+        checks = compare_latest(runs, check_last=2)
+        assert [c.index for c in checks] == [2, 3]
+        assert not any(c.regressed for c in checks)
+
+    def test_baseline_is_most_recent_same_scale(self):
+        runs = [_run(200.0, SCALE_A), _run(100.0, SCALE_A), _run(85.0, SCALE_A)]
+        (check,) = compare_latest(runs)
+        assert check.baseline == 100.0  # not the older 200
+
+    def test_missing_metric_skipped(self):
+        runs = [_run(100.0, SCALE_A), {"metrics": {"goodput": 1.0}, "scale": SCALE_A}]
+        assert compare_latest(runs, check_last=1) == []
+
+    def test_custom_metric_and_threshold(self):
+        runs = [
+            {"metrics": {"goodput": 1.0}, "scale": SCALE_A},
+            {"metrics": {"goodput": 0.94}, "scale": SCALE_A},
+        ]
+        (check,) = compare_latest(runs, metric="goodput", threshold=0.05)
+        assert check.regressed
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_latest([_run(1.0, SCALE_A)], threshold=1.5)
+
+    def test_scale_key_is_order_insensitive(self):
+        assert scale_key({"a": 1, "b": 2}) == scale_key({"b": 2, "a": 1})
+
+    def test_baseline_for_direct(self):
+        runs = [_run(100.0, SCALE_A), _run(90.0, SCALE_A)]
+        assert baseline_for(runs, 1, "throughput_sps") == 100.0
+        assert baseline_for(runs, 0, "throughput_sps") is None
+
+    def test_describe_mentions_verdict(self):
+        check = BenchCheck(
+            index=0, metric="throughput_sps", current=79.0, baseline=100.0,
+            threshold=0.2, scale=SCALE_A,
+        )
+        assert check.describe().startswith("FAIL")
+
+
+class TestFileAndCli:
+    def _record(self, path, sps, scale):
+        BenchRecorder(path, bench="serving").record(
+            {"throughput_sps": sps}, scale=scale
+        )
+
+    def test_load_runs_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_serving.json"
+        self._record(path, 100.0, SCALE_A)
+        self._record(path, 99.0, SCALE_A)
+        runs = load_runs(str(path))
+        assert [run["metrics"]["throughput_sps"] for run in runs] == [100.0, 99.0]
+
+    def test_load_runs_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "BENCH_serving.json"
+        path.write_text(json.dumps({"schema": "other/v9", "runs": []}))
+        with pytest.raises(ValueError, match="bench file"):
+            load_runs(str(path))
+
+    def test_cli_passes_on_healthy_trajectory(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_serving.json"
+        self._record(path, 100.0, SCALE_A)
+        self._record(path, 95.0, SCALE_A)
+        assert main([str(path), "--check-last", "1"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_cli_fails_on_regression(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_serving.json"
+        self._record(path, 100.0, SCALE_A)
+        self._record(path, 70.0, SCALE_A)
+        assert main([str(path), "--check-last", "1"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_cli_check_last_spans_both_lineages(self, tmp_path):
+        """The canary appends one fused and one unfused record per run;
+        --check-last 2 gates both against their own lineages."""
+        path = tmp_path / "BENCH_serving.json"
+        self._record(path, 100.0, SCALE_A)
+        self._record(path, 50.0, SCALE_B)
+        self._record(path, 98.0, SCALE_A)
+        self._record(path, 30.0, SCALE_B)  # 40% drop on the B lineage
+        assert main([str(path), "--check-last", "2"]) == 1
+
+    def test_cli_no_gated_runs(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_serving.json"
+        BenchRecorder(path, bench="serving").record({"goodput": 1.0}, scale=SCALE_A)
+        assert main([str(path)]) == 0
+        assert "no runs" in capsys.readouterr().out

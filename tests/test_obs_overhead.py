@@ -79,6 +79,10 @@ class TestDisabledPathOverhead:
         workload, ids = _workload(dataset, requests=64)
 
         obs = Observability.disabled()
+        # The 12-ops-per-request model below counts the per-chip path's
+        # spans (per-batch dispatch + chip.forward); fused dispatch
+        # triggers strictly fewer obs calls, so bound the worst case.
+        fused = False
         calls = 20000
         started = time.perf_counter()
         for _ in range(calls):
@@ -87,7 +91,7 @@ class TestDisabledPathOverhead:
             obs.event("enqueue", request="r", tick=0)
         per_op_seconds = (time.perf_counter() - started) / (2 * calls)
 
-        engine = _engine(model, tracing=False)
+        engine = _engine(model, tracing=False, fused=fused)
         engine.warm_up()
         started = time.perf_counter()
         engine.run(workload, ids=ids)
@@ -116,9 +120,10 @@ class TestDisabledPathOverhead:
 
 class TestSpanCoverage:
     def test_every_stage_appears_in_the_trace(self, served_model):
+        """Per-chip dispatch (``fused=False``) emits the full span chain."""
         model, dataset = served_model
         workload, ids = _workload(dataset)
-        engine = _engine(model, tracing=True)
+        engine = _engine(model, tracing=True, fused=False)
         engine.run(workload, ids=ids)
         recorder = engine.obs.recorder
         for stage in (
@@ -133,10 +138,32 @@ class TestSpanCoverage:
         forward = recorder.named("chip.forward")[0]
         assert forward.attrs["energy_uj_per_layer"]
 
-    def test_breakdown_covers_dispatch_time(self, served_model):
+    def test_fused_stages_appear_in_the_trace(self, served_model):
+        """Fused dispatch (the default) swaps per-batch ``dispatch`` spans
+        for one ``dispatch.fused`` group span (plus ``dispatch.fuse`` for
+        the stack build); the per-request stages are unchanged."""
         model, dataset = served_model
         workload, ids = _workload(dataset)
         engine = _engine(model, tracing=True)
+        # The stack builds from cache-resident chips only, so a cold
+        # fleet's first tick dispatches per-chip; warm up as a real
+        # deployment would.
+        engine.warm_up()
+        engine.run(workload, ids=ids)
+        recorder = engine.obs.recorder
+        for stage in (
+            "enqueue", "batch", "schedule", "mapping", "program",
+            "dispatch.fuse", "dispatch.fused",
+        ):
+            assert recorder.named(stage), f"no {stage!r} spans recorded"
+        group = recorder.named("dispatch.fused")[0]
+        assert group.attrs["batches"] > 1
+        assert engine.telemetry.fused_groups == len(recorder.named("dispatch.fused"))
+
+    def test_breakdown_covers_dispatch_time(self, served_model):
+        model, dataset = served_model
+        workload, ids = _workload(dataset)
+        engine = _engine(model, tracing=True, fused=False)
         engine.run(workload, ids=ids)
         breakdown = engine.obs.recorder.breakdown()
         # The dispatch span wraps schedule + mapping + forward.

@@ -1,0 +1,216 @@
+"""Engine-level parity tests for fused cross-chip dispatch.
+
+``ServeConfig(fused=True)`` vs ``fused=False`` must be *indistinguishable*
+in everything the engine accounts for: per-request logits (bit-equal),
+chip assignments, and the telemetry digest — across tick-barrier and
+replay-trace admission, under mid-run recalibration, fault maps, and
+spare provisioning, on both backends.  Chaos runs fall back to per-chip
+dispatch automatically, so parity there is structural, and asserted too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import batch_iterator
+from repro.datasets.synthetic import make_pattern_dataset
+from repro.models import build_model
+from repro.nn import init
+from repro.quant.calibration import calibrate_model
+from repro.quant.ptq import convert_to_quantized
+from repro.quant.qconfig import QConfig
+from repro.selftuning.tuner import SelfTuningConfig
+from repro.serve import (
+    FaultInjector,
+    FaultPlan,
+    InferenceEngine,
+    ReplayTrace,
+    ServeConfig,
+    UniformTrace,
+)
+from repro.variability.faults import FaultSpec
+from repro.variability.models import WeightProportionalVariance
+from repro.variability.sampler import VariabilitySpec
+
+
+@pytest.fixture(scope="module")
+def served_model():
+    init.seed(0)
+    dataset = make_pattern_dataset(5, 16, (1, 28, 28), seed=7, max_shift=1, noise=0.2)
+    model = build_model("lenet5-mini", num_classes=5, in_channels=1)
+    convert_to_quantized(model, QConfig.from_notation("A4W2"))
+    calibrate_model(model, batch_iterator(dataset, 16, shuffle=False), max_batches=3)
+    model.eval()
+    return model, dataset
+
+
+def _spec(sigma=0.2):
+    return VariabilitySpec.mixed(sigma, WeightProportionalVariance())
+
+
+def _engine(model, fused, num_chips=3, **config):
+    config.setdefault("max_batch", 4)
+    config.setdefault("max_wait", 2)
+    config.setdefault("seed", 5)
+    return InferenceEngine(
+        model,
+        _spec(),
+        num_chips=num_chips,
+        config=ServeConfig(fused=fused, **config),
+    )
+
+
+def _workload(dataset, requests):
+    reps = 1 + (requests - 1) // len(dataset.images)
+    return np.concatenate([dataset.images] * reps)[:requests]
+
+
+def _serve_bursty(engine, workload, per_tick=12, deadline_ticks=20):
+    """Submit ``per_tick`` requests between steps: several due batches per
+    tick, which is what gives the fused path groups to stack."""
+    for i, sample in enumerate(workload):
+        engine.submit(
+            sample, request_id=f"r{i:04d}", deadline=engine.now + deadline_ticks
+        )
+        if (i + 1) % per_tick == 0:
+            engine.step()
+    engine.drain()
+    return engine
+
+
+def _snapshot(engine):
+    outputs = {rid: done.output for rid, done in engine.completed.items()}
+    chips = {rid: done.chip_id for rid, done in engine.completed.items()}
+    return outputs, chips, engine.telemetry.digest()
+
+
+def _assert_equivalent(fused_engine, plain_engine):
+    out_f, chips_f, digest_f = _snapshot(fused_engine)
+    out_p, chips_p, digest_p = _snapshot(plain_engine)
+    assert set(out_f) == set(out_p)
+    assert chips_f == chips_p
+    assert all(np.array_equal(out_f[rid], out_p[rid]) for rid in out_p)
+    assert digest_f == digest_p
+
+
+@pytest.mark.parametrize("backend", ["fake-quant", "circuit"])
+def test_fused_serving_is_bit_identical(served_model, backend):
+    model, dataset = served_model
+    workload = _workload(dataset, 36)
+    fused = _serve_bursty(_engine(model, True, backend=backend), workload)
+    plain = _serve_bursty(_engine(model, False, backend=backend), workload)
+    _assert_equivalent(fused, plain)
+    assert fused.telemetry.fused_groups > 0
+    assert fused.telemetry.fused_batches > fused.telemetry.fused_groups
+    assert plain.telemetry.fused_groups == 0
+
+
+@pytest.mark.parametrize("policy", ["round-robin", "least-loaded", "energy-aware"])
+def test_fused_parity_across_policies(served_model, policy):
+    """Staged counter/energy bumps reproduce every policy's choices."""
+    model, dataset = served_model
+    workload = _workload(dataset, 36)
+    fused = _serve_bursty(_engine(model, True, policy=policy), workload)
+    plain = _serve_bursty(_engine(model, False, policy=policy), workload)
+    _assert_equivalent(fused, plain)
+    assert fused.telemetry.fused_groups > 0
+
+
+def test_fused_parity_on_replay_trace(served_model):
+    model, dataset = served_model
+    workload = _workload(dataset, 40)
+    ids = [f"t{i:04d}" for i in range(len(workload))]
+    trace = ReplayTrace.from_trace(UniformTrace(rate=10.0), len(ids))
+    fused = _engine(model, True)
+    plain = _engine(model, False)
+    out_f = fused.run_trace(workload, trace, ids=ids)
+    out_p = plain.run_trace(workload, trace, ids=ids)
+    assert set(out_f) == set(out_p)
+    assert all(np.array_equal(out_f[rid], out_p[rid]) for rid in out_p)
+    assert fused.telemetry.digest() == plain.telemetry.digest()
+
+
+def test_fused_parity_under_chaos(served_model):
+    """An installed fault injector routes every batch per-chip, so a chaos
+    run is identical with fusion on or off — schedule, dead letters, bits."""
+    model, dataset = served_model
+    workload = _workload(dataset, 40)
+    ids = [f"c{i:04d}" for i in range(len(workload))]
+    trace = ReplayTrace.from_trace(UniformTrace(rate=10.0), len(ids))
+    engines = []
+    for fused in (True, False):
+        engine = _engine(model, fused, num_chips=6)
+        engine.warm_up()
+        FaultInjector(engine, FaultPlan(seed=3)).install()
+        engine.run_trace(workload, trace, ids=ids)
+        engines.append(engine)
+    chaos_fused, chaos_plain = engines
+    assert chaos_fused.faults.schedule == chaos_plain.faults.schedule
+    assert set(chaos_fused.dead_letters) == set(chaos_plain.dead_letters)
+    _assert_equivalent(chaos_fused, chaos_plain)
+    assert chaos_fused.telemetry.fused_groups == 0  # structural fallback
+
+
+def test_fused_parity_across_recalibration(served_model):
+    """Mid-run reprogramming creates new chip objects; the stack rebuilds
+    and stays bit-identical."""
+    model, dataset = served_model
+    workload = _workload(dataset, 48)
+    engines = []
+    for fused in (True, False):
+        engine = _engine(model, fused)
+        _serve_bursty(engine, workload[:24])
+        engine.reprogram(engine.fleet[0])
+        _serve_bursty(engine, workload[24:])
+        engines.append(engine)
+    _assert_equivalent(*engines)
+    assert engines[0].telemetry.fused_groups > 0
+
+
+def test_fused_parity_across_fault_map_and_replacement(served_model):
+    """apply_faults (sticky stuck-at map) and spare provisioning both
+    invalidate the stack; serving stays bit-identical through both."""
+    model, dataset = served_model
+    workload = _workload(dataset, 48)
+    engines = []
+    for fused in (True, False):
+        engine = _engine(model, fused)
+        _serve_bursty(engine, workload[:16])
+        engine.inject_chip_faults(
+            engine.fleet[1], FaultSpec(p_stuck_off=0.05, p_stuck_on=0.02), seed=9
+        )
+        _serve_bursty(engine, workload[16:32])
+        engine.replace_chip(engine.fleet[1], reason="test")
+        _serve_bursty(engine, workload[32:])
+        engines.append(engine)
+    _assert_equivalent(*engines)
+    assert engines[0].telemetry.fused_groups > 0
+
+
+def test_self_tuning_disables_fusion(served_model):
+    model, dataset = served_model
+    workload = _workload(dataset, 24)
+    engine = _engine(
+        model, True, backend="fake-quant", self_tuning=SelfTuningConfig()
+    )
+    _serve_bursty(engine, workload)
+    assert engine.telemetry.fused_groups == 0
+    assert len(engine.completed) == len(workload)
+
+
+def test_fused_counters_in_report(served_model):
+    model, dataset = served_model
+    engine = _serve_bursty(_engine(model, True), _workload(dataset, 24))
+    section = engine.telemetry.report()["fused"]
+    assert section["groups"] == engine.telemetry.fused_groups
+    assert section["batches"] == engine.telemetry.fused_batches
+    assert section["fallback_batches"] == engine.telemetry.fused_fallback_batches
+
+
+def test_digest_is_deterministic_and_workload_sensitive(served_model):
+    model, dataset = served_model
+    workload = _workload(dataset, 24)
+    first = _serve_bursty(_engine(model, True), workload)
+    second = _serve_bursty(_engine(model, True), workload)
+    assert first.telemetry.digest() == second.telemetry.digest()
+    shorter = _serve_bursty(_engine(model, True), workload[:12])
+    assert shorter.telemetry.digest() != first.telemetry.digest()

@@ -194,6 +194,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="resident mappings bound (default: the whole fleet)",
         )
         sub.add_argument(
+            "--shards",
+            type=_nonnegative_int,
+            default=0,
+            help="shard the fleet across this many worker processes "
+            "(0 = in-process serial; outputs and telemetry digests are "
+            "bit-identical either way)",
+        )
+        sub.add_argument(
+            "--max-resident-chips",
+            type=_positive_int,
+            default=None,
+            metavar="N",
+            help="LRU spill bound on realized chips (lazy fleets re-realize "
+            "evicted chips deterministically from their seeds; default: unbounded)",
+        )
+        sub.add_argument(
             "--probe-k", type=_positive_int, default=1, help="top-k of the quality probe"
         )
         sub.add_argument(
@@ -565,7 +581,7 @@ def _drift_serving_run(model, test, eval_spec, args, policy: str) -> dict:
     paths, and the probe/recalibration schedule are identical across
     policies — only dispatch (and therefore served accuracy) differs.
     """
-    from repro.serve import ChipLifecycle, InferenceEngine, ServeConfig
+    from repro.serve import ChipLifecycle, InferenceEngine, ReplayTrace, ServeConfig
 
     config = ServeConfig(
         max_batch=args.max_batch,
@@ -576,6 +592,8 @@ def _drift_serving_run(model, test, eval_spec, args, policy: str) -> dict:
         self_tuning=_self_tuning(args),
         backend=args.backend,
         fused=args.fused,
+        shards=args.shards,
+        max_resident_chips=args.max_resident_chips,
     )
     engine = InferenceEngine(
         model, eval_spec, args.num_chips, config,
@@ -584,10 +602,14 @@ def _drift_serving_run(model, test, eval_spec, args, policy: str) -> dict:
     lifecycle = ChipLifecycle(engine, test, _lifecycle_config(args))
     lifecycle.install()
     workload, labels, ids = _serving_workload(args, test)
-    trace = _cli_trace(args)
+    # Freeze the arrival schedule into a replay trace: the lifetime bench
+    # is defined over a pinned request timeline, so sharded and serial
+    # runs (and reruns) replay the exact same arrivals.
+    trace = ReplayTrace.from_trace(_cli_trace(args), args.requests)
     started = time.perf_counter()
     outputs = engine.run_trace(workload, trace, ids=ids, lifecycle=lifecycle)
     seconds = time.perf_counter() - started
+    engine.close()
     logits = np.stack([outputs[rid] for rid in ids])
     correct = logits.argmax(axis=1) == labels
     # "End of trace" = the second half of the request stream: long enough to
@@ -604,12 +626,39 @@ def _drift_serving_run(model, test, eval_spec, args, policy: str) -> dict:
     }
 
 
-def _print_quality_timeline(engine) -> None:
-    """Drift/recovery curves: probed accuracy per chip over virtual time."""
+def _print_quality_timeline(engine, max_chips: int = 16) -> None:
+    """Drift/recovery curves: probed accuracy per chip over virtual time.
+
+    One column per chip only works for fleets a terminal can hold; past
+    ``max_chips`` the table collapses to fleet-wide quantiles per probe
+    round (the thousand-chip regime of ``--fleet rram:500,flash:500``).
+    """
     series = engine.telemetry.quality_series
     if not series:
         return
     chips = sorted(series)
+    if len(chips) > max_chips:
+        times = sorted({time for chip in chips for time, _ in series[chip]})
+        rows = []
+        for probe_time in times:
+            values = [
+                100 * qualities[-1]
+                for chip in chips
+                if (qualities := [q for t, q in series[chip] if t == probe_time])
+            ]
+            rows.append([
+                f"{probe_time:.0f}", len(values),
+                f"{np.percentile(values, 10):.1f}", f"{np.median(values):.1f}",
+                f"{np.percentile(values, 90):.1f}", f"{min(values):.1f}",
+            ])
+        print(format_table(
+            ["t", "probed", "p10", "median", "p90", "min"], rows,
+            title=f"probed accuracy over time (%, fleet of {len(chips)})",
+        ))
+        events = engine.telemetry.recalibration_events
+        if events:
+            print(f"recalibration events: {len(events)}")
+        return
     times = sorted({time for chip in chips for time, _ in series[chip]})
     rows = []
     for probe_time in times:
@@ -703,6 +752,8 @@ def _bench_scale(args, engine) -> dict:
         "trace": args.trace,
         "seed": args.seed,
         "fused": bool(getattr(args, "fused", True)),
+        "shards": int(getattr(args, "shards", 0) or 0),
+        "max_resident_chips": getattr(args, "max_resident_chips", None),
         **engine.policy.describe(),
     }
 
@@ -832,6 +883,8 @@ def _chaos_serving_run(model, test, eval_spec, args, trace) -> dict:
         self_tuning=_self_tuning(args),
         backend=args.backend,
         fused=args.fused,
+        shards=args.shards,
+        max_resident_chips=args.max_resident_chips,
     )
     engine = InferenceEngine(
         model, eval_spec, args.num_chips, config, fleet_spec=_fleet_spec(args)
@@ -851,6 +904,7 @@ def _chaos_serving_run(model, test, eval_spec, args, trace) -> dict:
     started = time.perf_counter()
     outputs = engine.run_trace(workload, trace, ids=ids)
     seconds = time.perf_counter() - started
+    engine.close()
     served = [rid for rid in ids if rid in outputs]
     correct = sum(
         int(outputs[rid].argmax() == label)
@@ -1031,6 +1085,8 @@ def _slo_serving_run(model, test, eval_spec, args, trace, policy: str) -> dict:
         backend=args.backend,
         continuous=True,
         fused=args.fused,
+        shards=args.shards,
+        max_resident_chips=args.max_resident_chips,
     )
     engine = InferenceEngine(
         model, eval_spec, args.num_chips, config, fleet_spec=_fleet_spec(args)
@@ -1051,6 +1107,7 @@ def _slo_serving_run(model, test, eval_spec, args, trace, policy: str) -> dict:
     started = time.perf_counter()
     outputs = engine.run_trace(workload, trace, ids=ids)
     seconds = time.perf_counter() - started
+    engine.close()
     served = [rid for rid in ids if rid in outputs]
     correct = sum(
         int(outputs[rid].argmax() == label)
@@ -1228,7 +1285,7 @@ def _cmd_serve_bench(args) -> int:
     model, test, eval_spec = _serve_model(args)
     workload, _, ids = _serving_workload(args, test)
 
-    def serve(max_batch: int, max_wait: int, fused: bool):
+    def serve(max_batch: int, max_wait: int, fused: bool, shards: int = 0):
         config = ServeConfig(
             max_batch=max_batch,
             max_wait=max_wait,
@@ -1238,6 +1295,8 @@ def _cmd_serve_bench(args) -> int:
             self_tuning=_self_tuning(args),
             backend=args.backend,
             fused=fused,
+            shards=shards,
+            max_resident_chips=args.max_resident_chips,
         )
         engine = InferenceEngine(
             model, eval_spec, args.num_chips, config, fleet_spec=_fleet_spec(args)
@@ -1250,13 +1309,16 @@ def _cmd_serve_bench(args) -> int:
             outputs = engine.run_trace(workload, _cli_trace(args), ids=ids)
         else:
             outputs = engine.run(workload, ids=ids)
+        engine.close()
         return engine, outputs, time.perf_counter() - started
 
     # The sequential reference is per-request by definition: fusing its
-    # single-sample batches would measure a different baseline.
+    # single-sample batches would measure a different baseline (and sharding
+    # one-sample ticks would only measure pipe overhead), so only the batched
+    # engine honours --shards.
     sequential, seq_out, seq_seconds = serve(max_batch=1, max_wait=0, fused=False)
     batched, batch_out, batch_seconds = serve(
-        args.max_batch, args.max_wait, fused=args.fused
+        args.max_batch, args.max_wait, fused=args.fused, shards=args.shards
     )
     mismatched = sum(
         not np.array_equal(seq_out[rid], batch_out[rid]) for rid in ids
@@ -1287,6 +1349,10 @@ def _cmd_serve_bench(args) -> int:
     print(f"fused dispatch: {fused_stats.fused_groups} groups, "
           f"{fused_stats.fused_batches} batches, "
           f"{fused_stats.fused_fallback_batches} fallbacks")
+    if args.shards:
+        print(f"sharded dispatch: {fused_stats.shard_groups} ticks, "
+              f"{fused_stats.shard_batches} batches across "
+              f"{args.shards} shards")
     print(f"telemetry digest: {batched.telemetry.digest()}")
     print()
     _print_span_breakdown(batched, title="per-stage span breakdown (batched)")
@@ -1307,6 +1373,8 @@ def _cmd_serve_bench(args) -> int:
             "max_batch": args.max_batch,
             "max_wait": args.max_wait,
             "requests": args.requests,
+            "shards": args.shards,
+            "max_resident_chips": args.max_resident_chips,
             "sequential_seconds": seq_seconds,
             "batched_seconds": batch_seconds,
             "speedup": speedup,

@@ -21,7 +21,12 @@ puts a client-facing asyncio front end over all of it — the
 deadlines/SLOs, continuous batching, bounded-queue admission control
 (:class:`~repro.serve.api.Overloaded`), and compilation of every accepted
 session into a bit-replayable
-:class:`~repro.serve.trace.ReplayTrace`.  See
+:class:`~repro.serve.trace.ReplayTrace`.  :mod:`repro.serve.shard`
+scales all of it out: fleets construct lazily from seed descriptors
+(``num_chips=1000+`` in O(descriptors) memory, with an LRU spill bound
+via ``ServeConfig.max_resident_chips``) and ``ServeConfig.shards`` runs
+each tick's staged batches on a pool of forked worker processes with
+bit-identical outputs and telemetry digests (``docs/scale-out.md``).  See
 :class:`~repro.serve.engine.InferenceEngine` for the entry point and
 ``examples/serving_fleet.py`` / ``examples/lifecycle_serving.py`` /
 ``examples/chaos_serving.py`` for end-to-end tours.
@@ -41,6 +46,7 @@ from repro.obs import Observability
 from repro.serve.batcher import Batch, MicroBatcher, Request
 from repro.serve.cache import CacheStats, MappingCache, mapping_key
 from repro.serve.engine import (
+    ChipDescriptor,
     FleetChip,
     FleetSpec,
     InferenceEngine,
@@ -77,6 +83,7 @@ from repro.serve.scheduler import (
     dispatchable,
     make_policy,
 )
+from repro.serve.shard import ChipStateRef, ShardPlan, ShardPool
 from repro.serve.telemetry import ServeTelemetry
 from repro.serve.trace import (
     TRACES,
@@ -104,8 +111,12 @@ __all__ = [
     "EnergyAwarePolicy",
     "InferenceEngine",
     "ServeConfig",
+    "ChipDescriptor",
     "FleetChip",
     "FleetSpec",
+    "ChipStateRef",
+    "ShardPlan",
+    "ShardPool",
     "TechnologyGroup",
     "ServedRequest",
     "Request",

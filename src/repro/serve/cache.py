@@ -53,6 +53,16 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    # Spills: evictions whose owner released spillable chip state through
+    # the ``on_evict`` hook (lazy fleets dropping a cold chip's realized
+    # variation patterns — see ``ServeConfig.max_resident_chips``).  The
+    # hook owner increments this; the cache itself only counts evictions.
+    spills: int = 0
+    # High-water mark of resident mappings, sampled after every insert's
+    # capacity enforcement — on a capacity-bounded cache this never
+    # exceeds ``capacity``, which is the resident-chip ceiling large lazy
+    # fleets assert against.
+    peak_resident: int = 0
     # Misses where the same (model, qconfig, chip) *is* resident but was
     # programmed by a different backend: the collision the backend-aware
     # key exists to prevent.  A high count on a mixed-backend engine means
@@ -75,6 +85,8 @@ class CacheStats:
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "cross_backend_misses": self.cross_backend_misses,
+            "spills": self.spills,
+            "peak_resident": self.peak_resident,
             "hit_rate": self.hit_rate,
             "program_seconds": self.program_seconds,
         }
@@ -95,12 +107,19 @@ class MappingCache:
     called as ``on_program(key, seconds)`` after every miss-triggered
     programming, which is how per-chip program time attributes to spans
     and histograms without the cache knowing about either.
+
+    ``on_evict`` is the symmetric spill hook: called as
+    ``on_evict(key, mapping)`` after every capacity-pressure eviction (not
+    on deliberate invalidation — an invalidated mapping is stale, an
+    evicted one is merely cold), so an owner of spillable per-chip state
+    can release it and re-realize deterministically later.
     """
 
     capacity: int | None = None
     stats: CacheStats = field(default_factory=CacheStats)
     clock: Callable[[], float] = time.perf_counter
     on_program: Callable[[Hashable, float], None] | None = None
+    on_evict: Callable[[Hashable, object], None] | None = None
 
     def __post_init__(self) -> None:
         if self.capacity is not None and self.capacity < 1:
@@ -136,8 +155,11 @@ class MappingCache:
         self._entries[key] = mapping
         if self.capacity is not None:
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted_key, evicted = self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                if self.on_evict is not None:
+                    self.on_evict(evicted_key, evicted)
+        self.stats.peak_resident = max(self.stats.peak_resident, len(self._entries))
         return mapping
 
     def _is_cross_backend_miss(self, key: Hashable) -> bool:

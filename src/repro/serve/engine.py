@@ -44,6 +44,7 @@ from repro.serve.cache import MappingCache, mapping_key
 from repro.serve.faults import ChipFault, DeadLetter, RetryPolicy
 from repro.serve.health import HealthConfig, HealthMonitor
 from repro.serve.scheduler import dispatchable, make_policy
+from repro.serve.shard import ChipStateRef, ShardPlan, ShardPool
 from repro.serve.telemetry import ServeTelemetry
 from repro.serve.trace import ArrivalTrace
 from repro.variability.faults import FaultSpec
@@ -96,6 +97,25 @@ class ServeConfig:
     automatically whenever fusion cannot apply (an installed fault
     injector, self-tuning corrections, an unstackable fleet, or a
     single-batch tick), so turning it off is only ever a debugging aid.
+
+    ``shards`` scales the engine out across worker processes: ``N >= 1``
+    partitions the fleet into ``N`` contiguous shards
+    (:class:`repro.serve.shard.ShardPlan`) and executes each tick's staged
+    batches on a :class:`repro.serve.shard.ShardPool` of forked workers,
+    each owning its shard's programmed chips.  Outputs and the telemetry
+    digest are bit-identical to in-process execution (see
+    ``docs/scale-out.md``); ``0`` (the default) is the in-process serial
+    path — nothing changes for existing callers.  Chaos and self-tuning
+    runs always take the serial path, mirroring ``fused``.
+
+    ``max_resident_chips`` bounds how many chips may be *realized* at
+    once on the coordinator: it caps the mapping cache at that many
+    resident :class:`~repro.backends.ProgrammedChip` objects (tightening
+    ``cache_capacity`` if both are set) and releases an evicted chip's
+    realized variation patterns back to its seed descriptor — the LRU
+    spill bound that lets ``num_chips=1000+`` fleets serve in
+    O(``max_resident_chips``) heavy state.  Spilled chips re-realize
+    deterministically on the next dispatch or probe.
     """
 
     max_batch: int = 32
@@ -110,6 +130,8 @@ class ServeConfig:
     health: HealthConfig = HealthConfig()
     continuous: bool = False
     fused: bool = True
+    shards: int = 0
+    max_resident_chips: int | None = None
 
 
 @dataclass(frozen=True)
@@ -188,11 +210,40 @@ class FleetSpec:
                 scale = float(scale_text) if scale_text else 1.0
             except ValueError as error:
                 raise ValueError(f"bad fleet group {part!r}: {error}") from None
+            if count < 1:
+                raise ValueError(
+                    f"bad fleet group {part!r}: count must be >= 1, got {count}"
+                )
             groups.append(TechnologyGroup(device.strip(), count, scale))
         return cls(tuple(groups), scenario=scenario, backend=backend)
 
 
-@dataclass
+@dataclass(frozen=True)
+class ChipDescriptor:
+    """Seed-addressed recipe for one chip's :class:`ChipVariation`.
+
+    Everything a chip's fabrication state derives from: the sampled
+    between-chip epsilon, the within-chip sigma, and the per-layer pattern
+    seed.  A thousand-chip fleet stores only these triples
+    (O(descriptors) memory) and realizes the heavy per-layer arrays on
+    first traffic — :meth:`realize` is a pure function, so spilling and
+    re-realizing a cold chip reproduces it bit-exactly.
+    """
+
+    eps_between: float
+    sigma_within: float
+    seed: int
+
+    @classmethod
+    def sample(cls, sampler: VariabilitySampler) -> "ChipDescriptor":
+        """Draw one descriptor, consuming exactly ``sample_chip``'s RNG stream."""
+        return cls(*sampler.sample_chip_params())
+
+    def realize(self) -> ChipVariation:
+        """Materialize the chip's variation (deterministic from the triple)."""
+        return ChipVariation(self.eps_between, self.sigma_within, self.seed)
+
+
 class FleetChip:
     """One pool member: a sampled chip plus its serving bookkeeping.
 
@@ -211,22 +262,83 @@ class FleetChip:
     every fault this chip has thrown (transients, latency spikes, its
     death) — the deterministic risk signal the ``latency-aware`` policy
     steers urgent batches away from.
+
+    Chips are lazy: constructed from a :class:`ChipDescriptor`, the
+    handle is pure bookkeeping until the first :attr:`variation` access
+    realizes the :class:`~repro.variability.sampler.ChipVariation` — which
+    is how ``num_chips=1000+`` fleets construct in O(descriptors) memory.
+    Scheduling policies and the health machine read only counters, so
+    routing never forces realization; :attr:`realized` says whether it
+    happened and :meth:`spill` releases the realized per-layer patterns
+    back to the seed (the engine calls it when
+    ``ServeConfig.max_resident_chips`` evicts a cold chip).
     """
 
-    index: int
-    chip_id: str
-    variation: ChipVariation
-    served_samples: int = 0
-    served_batches: int = 0
-    quality: float | None = None
-    technology: str = "generic"
-    spec: VariabilitySpec | None = None
-    age: float = 0.0
-    recalibrations: int = 0
-    mapping_stale: bool = False
-    energy_uj: float = 0.0
-    health: str = "healthy"
-    fault_events: int = 0
+    def __init__(
+        self,
+        index: int,
+        chip_id: str,
+        variation: ChipVariation | None = None,
+        served_samples: int = 0,
+        served_batches: int = 0,
+        quality: float | None = None,
+        technology: str = "generic",
+        spec: VariabilitySpec | None = None,
+        age: float = 0.0,
+        recalibrations: int = 0,
+        mapping_stale: bool = False,
+        energy_uj: float = 0.0,
+        health: str = "healthy",
+        fault_events: int = 0,
+        descriptor: ChipDescriptor | None = None,
+    ) -> None:
+        if variation is None and descriptor is None:
+            raise ValueError("FleetChip needs a variation or a descriptor")
+        self.index = int(index)
+        self.chip_id = str(chip_id)
+        self._variation = variation
+        self.descriptor = descriptor
+        self.served_samples = served_samples
+        self.served_batches = served_batches
+        self.quality = quality
+        self.technology = technology
+        self.spec = spec
+        self.age = age
+        self.recalibrations = recalibrations
+        self.mapping_stale = mapping_stale
+        self.energy_uj = energy_uj
+        self.health = health
+        self.fault_events = fault_events
+
+    @property
+    def variation(self) -> ChipVariation:
+        """The chip's fabrication state, realized from the descriptor on
+        first access (lifecycle layers may later swap in a
+        :class:`~repro.pim.drift.DriftingChip` via the setter)."""
+        if self._variation is None:
+            self._variation = self.descriptor.realize()
+        return self._variation
+
+    @variation.setter
+    def variation(self, value: ChipVariation) -> None:
+        self._variation = value
+
+    @property
+    def realized(self) -> bool:
+        """Whether the variation has been materialized (no side effects)."""
+        return self._variation is not None
+
+    def spill(self) -> None:
+        """Release the realized variation's cached per-layer patterns.
+
+        The memory-bound half of lazy fleets: drops the heavy eps_W
+        arrays (re-derived bit-exactly from the seed on next use) while
+        keeping the variation object itself — drift state, measurements,
+        and any :class:`~repro.pim.drift.DriftingChip` wrapper survive.
+        No-op on a never-realized chip.
+        """
+        if self._variation is not None:
+            self._variation.release_patterns()
 
     def __repr__(self) -> str:
         quality = f"{self.quality:.3f}" if self.quality is not None else "unprobed"
@@ -299,7 +411,11 @@ class InferenceEngine:
             sampler = VariabilitySampler(spec, seed=config.seed)
             width = max(2, len(str(num_chips - 1)))
             self.fleet = [
-                FleetChip(i, f"chip{i:0{width}d}", sampler.sample_chip())
+                FleetChip(
+                    i,
+                    f"chip{i:0{width}d}",
+                    descriptor=ChipDescriptor.sample(sampler),
+                )
                 for i in range(num_chips)
             ]
         else:
@@ -312,10 +428,23 @@ class InferenceEngine:
             "serve_program_seconds", "seconds per miss-triggered chip programming",
             lo=1e-6, hi=1e3,
         )
+        capacity = config.cache_capacity
+        if config.max_resident_chips is not None:
+            if config.max_resident_chips < 1:
+                raise ValueError(
+                    f"max_resident_chips must be >= 1 or None, got "
+                    f"{config.max_resident_chips}"
+                )
+            capacity = (
+                config.max_resident_chips
+                if capacity is None
+                else min(capacity, config.max_resident_chips)
+            )
         self.cache = MappingCache(
-            capacity=config.cache_capacity,
+            capacity=capacity,
             clock=self.obs.clock.now,
             on_program=self._on_program,
+            on_evict=self._on_evict,
         )
         self.batcher = MicroBatcher(
             config.max_batch, config.max_wait, observer=self._on_batch_formed
@@ -353,6 +482,18 @@ class InferenceEngine:
         #: re-raising :class:`UnstackableError` every tick until the
         #: fleet's programmed state actually changes.
         self._fused_failed_key: tuple | None = None
+        if config.shards < 0:
+            raise ValueError(f"shards must be >= 0, got {config.shards}")
+        #: Contiguous fleet partition driving sharded execution (or None
+        #: for the in-process serial default).
+        self.shard_plan = (
+            ShardPlan.build(len(self.fleet), config.shards) if config.shards else None
+        )
+        self._shard_pool: ShardPool | None = None
+        #: Per-chip programmed-state epoch: bumped whenever something other
+        #: than drift mutates the chip's programmed state (fault pinning,
+        #: recalibration), so shard workers drop and rebuild their copy.
+        self._shard_epochs: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Fleet programming
@@ -373,7 +514,7 @@ class InferenceEngine:
                     FleetChip(
                         index=len(fleet),
                         chip_id=f"{group.device}{member:02d}",
-                        variation=sampler.sample_chip(),
+                        descriptor=ChipDescriptor.sample(sampler),
                         technology=group.device,
                         spec=group_spec,
                     )
@@ -397,6 +538,26 @@ class InferenceEngine:
     def _on_program(self, key: tuple, seconds: float) -> None:
         """Cache profiling hook: account one miss-triggered programming."""
         self._program_seconds.observe(seconds)
+
+    def _on_evict(self, key: tuple, programmed) -> None:
+        """Cache spill hook: a chip's mapping left the cache under
+        capacity pressure, so release its realized variation patterns too.
+
+        This is what makes ``max_resident_chips`` a bound on *heavy* chip
+        state, not just on programmed mappings: the evicted chip's cached
+        per-layer eps_W arrays are dropped (drift state and measurements
+        survive) and re-derive bit-exactly from the seed when traffic
+        returns.  Only :func:`~repro.serve.cache.mapping_key`-shaped keys
+        participate; the chip id is the last key element.
+        """
+        if not (isinstance(key, tuple) and key):
+            return
+        chip = self.chip_by_id(str(key[-1]))
+        if chip is None or not chip.realized:
+            return
+        chip.spill()
+        self.cache.stats.spills += 1
+        self.obs.event("chip.spill", chip=chip.chip_id, tick=self.now)
 
     def _on_batch_formed(self, batch: Batch) -> None:
         """Batcher tracing hook: one event per cut batch."""
@@ -482,6 +643,7 @@ class InferenceEngine:
         invalidated (0 when the chip was not resident).
         """
         invalidated = int(self.cache.invalidate(self.key_for(chip)))
+        self._bump_shard_epoch(chip)
         self.programmed_for(chip)
         return invalidated
 
@@ -516,6 +678,7 @@ class InferenceEngine:
         # seeing the sticky entry, once below).
         programmed = self.programmed_for(chip)
         self._sticky_faults[chip.chip_id] = (spec, int(seed))
+        self._bump_shard_epoch(chip)
         with self.obs.span("faults.inject", chip=chip.chip_id) as span:
             stuck = programmed.apply_faults(spec, seed=int(seed))
             span.set(stuck=stuck)
@@ -558,7 +721,7 @@ class InferenceEngine:
         replacement = FleetChip(
             index=chip.index,
             chip_id=f"{base_id}+{generation}",
-            variation=sampler.sample_chip(),
+            descriptor=ChipDescriptor.sample(sampler),
             technology=chip.technology,
             spec=chip.spec,
         )
@@ -811,6 +974,10 @@ class InferenceEngine:
         batches = list(batches)
         if not batches:
             return []
+        if self._shardable():
+            served = self._dispatch_sharded(batches)
+            if served is not None:
+                return served
         fused = None
         if len(batches) > 1 and self._fusible():
             fused = self._fused_for()
@@ -867,7 +1034,7 @@ class InferenceEngine:
                     )
         return served
 
-    def _stage(self, batch: Batch):
+    def _stage(self, batch: Batch, realize: bool = True):
         """The pre-forward half of :meth:`_dispatch`, for the fused path.
 
         Sheds lapsed deadlines, schedules, and resolves the mapping —
@@ -878,6 +1045,13 @@ class InferenceEngine:
         paths).  Returns ``(batch, chip, programmed, inputs, energy_uj)``,
         or ``None`` when the batch produced no dispatchable work (already
         dead-lettered or parked for retry, exactly as ``_dispatch`` does).
+
+        ``realize=False`` is the sharded handoff: the forward runs on a
+        worker that owns the programmed chip, so the coordinator skips
+        materializing the mapping (``programmed`` comes back ``None``)
+        and prices the batch through the backend's estimator directly —
+        :meth:`~repro.backends.ProgrammedChip.cost` delegates to the same
+        ``cost_for``, so the booked energy is bit-identical.
         """
         obs = self.obs
         live = []
@@ -910,8 +1084,10 @@ class InferenceEngine:
                 return None
             chip = self.policy.choose(batch, candidates)
             span.set(chip=chip.chip_id)
-        with obs.span("mapping", chip=chip.chip_id):
-            programmed = self.programmed_for(chip)
+        programmed = None
+        if realize:
+            with obs.span("mapping", chip=chip.chip_id):
+                programmed = self.programmed_for(chip)
         inputs = batch.inputs()
         # Book *all* per-batch chip state now, in dispatch order — load-
         # and energy-aware policies must see exactly the fleet state a
@@ -920,7 +1096,10 @@ class InferenceEngine:
         # health success mark and the deterministic dispatch cost do not
         # depend on actually having run it yet.
         self.health.on_success(chip, self.now)
-        cost = programmed.cost(inputs.shape)
+        if realize:
+            cost = programmed.cost(inputs.shape)
+        else:
+            cost = self.backend.cost_for(self.model, inputs.shape)
         energy_uj = cost.energy_uj if cost is not None else None
         if energy_uj is not None:
             chip.energy_uj += energy_uj
@@ -965,6 +1144,130 @@ class InferenceEngine:
             energy_uj=energy_uj,
         )
         return served
+
+    # ------------------------------------------------------------------
+    # Sharded cross-process dispatch (repro.serve.shard)
+    # ------------------------------------------------------------------
+    def _shardable(self) -> bool:
+        """Whether this tick's batches may be offloaded to shard workers.
+
+        Mirrors :meth:`_fusible`'s eligibility: an installed fault
+        injector perturbs individual attempts mid-flight and self-tuning
+        is per-chip state the workers do not replicate — both route every
+        batch through the in-process path, which is also what keeps chaos
+        runs trivially digest-identical under ``--shards``.
+        """
+        return (
+            self.shard_plan is not None
+            and self.faults is None
+            and self.config.self_tuning is None
+        )
+
+    def _bump_shard_epoch(self, chip: FleetChip) -> None:
+        """Advance a chip's programmed-state epoch (workers rebuild their copy)."""
+        self._shard_epochs[chip.chip_id] = self._shard_epochs.get(chip.chip_id, 0) + 1
+
+    def _shard_ref(self, chip: FleetChip) -> ChipStateRef:
+        """Snapshot everything a worker needs to realize this chip bit-exactly.
+
+        Reads the descriptor when the chip was never realized (so shipping
+        a cold chip does not force realization on the coordinator) and the
+        live variation otherwise — drift moves only ``eps_between``, and
+        programmed state is a pure function of ``(eps_between,
+        sigma_within, seed, sticky faults)`` on both backends.
+        """
+        if chip.realized:
+            variation = chip.variation
+            eps = float(variation.eps_between)
+            sigma = float(variation.sigma_within)
+            seed = int(variation._seed)
+        else:
+            descriptor = chip.descriptor
+            eps = descriptor.eps_between
+            sigma = descriptor.sigma_within
+            seed = descriptor.seed
+        return ChipStateRef(
+            chip_id=chip.chip_id,
+            eps_between=eps,
+            sigma_within=sigma,
+            seed=seed,
+            spec=self.spec_for(chip),
+            sticky=self._sticky_faults.get(chip.chip_id),
+            epoch=self._shard_epochs.get(chip.chip_id, 0),
+        )
+
+    def _shard_pool_for(self) -> ShardPool | None:
+        """The lazily-started worker pool, or ``None`` when forking is
+        unavailable on this platform (sharding then falls back to the
+        in-process path for the whole run)."""
+        if self._shard_pool is None:
+            if not ShardPool.available():
+                self.obs.event("shard.unavailable", shards=self.shard_plan.shards)
+                self.shard_plan = None
+                return None
+            self._shard_pool = ShardPool(self.shard_plan, self.model, self.backend)
+        return self._shard_pool
+
+    def _dispatch_sharded(self, batches) -> list[ServedRequest] | None:
+        """Dispatch one tick's due batches across the shard workers.
+
+        The coordinator stages every batch in exact dispatch order (same
+        scheduling, SLO shedding, counters, and energy accounting as the
+        in-process paths — all digest-relevant state is booked here), the
+        workers run the forwards against their own programmed copies, and
+        completion runs in the original staged order, so outputs and the
+        telemetry digest are bit-identical to serial execution.  Worker
+        telemetry deltas (program counts, wall seconds) merge in canonical
+        shard order and stay report-only.  Returns ``None`` when the pool
+        cannot start, handing the tick back to the in-process paths.
+        """
+        pool = self._shard_pool_for()
+        if pool is None:
+            return None
+        clock = self.obs.clock
+        served: list[ServedRequest] = []
+        with self.obs.span(
+            "dispatch.sharded", tick=self.now, batches=len(batches)
+        ) as span:
+            staged = [
+                item
+                for item in (self._stage(batch, realize=False) for batch in batches)
+                if item is not None
+            ]
+            if not staged:
+                span.set(staged=0)
+                return served
+            work = [
+                (self.shard_plan.shard_of(chip.index), self._shard_ref(chip), inputs)
+                for _, chip, _, inputs, _ in staged
+            ]
+            started = clock.now()
+            outputs, deltas = pool.run_tick(work)
+            total_seconds = clock.now() - started
+            self.telemetry.record_shard_group(
+                len(staged), len({shard for shard, _, _ in work})
+            )
+            for shard, delta in deltas:
+                self.telemetry.record_shard_delta(shard, delta)
+            span.set(staged=len(staged), seconds=total_seconds, shards=len(deltas))
+            total_rows = sum(batch.size for batch, _, _, _, _ in staged)
+            for (batch, chip, _, _, energy_uj), out in zip(staged, outputs):
+                # Attribute wall time by row share, exactly like the fused
+                # path: service-time histograms are report-only.
+                seconds = total_seconds * (batch.size / total_rows)
+                served.extend(self._complete(batch, chip, out, seconds, energy_uj))
+        return served
+
+    def close(self) -> None:
+        """Release external resources (shard worker processes); idempotent.
+
+        Serial engines hold none, so calling this is always safe — but
+        every sharded engine should be closed (the CLI and tests do) so
+        worker processes exit promptly rather than at interpreter teardown.
+        """
+        if self._shard_pool is not None:
+            self._shard_pool.close()
+            self._shard_pool = None
 
     def _attempt(self, chip: FleetChip, batch: Batch, inputs) -> tuple | None:
         """One dispatch attempt on one chip; ``None`` means it failed.

@@ -32,6 +32,12 @@ health history of a run auditable after the fact.
 
 Only :const:`SERVING_STATES` receive traffic — the scheduler-side filter
 is :func:`repro.serve.scheduler.dispatchable`.
+
+Like the scheduling policies, the monitor reads and writes only the
+bookkeeping fields of a :class:`~repro.serve.engine.FleetChip` handle
+(``health``, counters) — never ``variation`` — so health tracking on a
+lazy thousand-chip fleet (:mod:`repro.serve.shard`) never forces chip
+realization.
 """
 
 from __future__ import annotations

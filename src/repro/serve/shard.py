@@ -1,0 +1,352 @@
+"""Sharded multiprocessing execution for lazy thousand-chip fleets.
+
+A single process caps the serving stack twice over: fleet memory (every
+realized chip holds per-layer variation arrays plus a programmed mapping)
+and dispatch throughput (one core runs every forward, fused or not).  The
+repo's determinism contract removes both caps at once — chips are
+*seed-addressed*, so any process can realize any chip bit-exactly from a
+few floats — and this module is that removal:
+
+* :class:`ShardPlan` partitions the fleet's index space into contiguous
+  shards (chip ``index`` → shard is a pure function, stable across chip
+  replacement because spares keep their slot index);
+* :class:`ChipStateRef` is the coordinator's per-dispatch snapshot of one
+  chip: descriptor triple, current drifted ``eps_between``, sticky fault
+  map, and a programmed-state epoch — everything a worker needs to own a
+  bit-identical programmed copy;
+* :class:`ShardPool` forks one worker process per shard (lazily, on the
+  first sharded tick); each worker programs its shard's chips on demand
+  into a private store, reuses the fused cross-chip path *within* the
+  shard, and returns outputs plus a report-only telemetry delta.
+
+The parity contract: the coordinator books every digest-relevant quantity
+(scheduling order, served counters, energy, SLO accounting) while staging
+— workers only compute forwards, whose outputs are bit-identical to
+in-process execution because programming is a pure function of the
+shipped state on both backends.  See ``docs/scale-out.md``.
+
+Workers are forked, not spawned: they inherit the golden model read-only,
+so nothing model-sized ever crosses the pipe — per-tick traffic is just
+``(ChipStateRef, inputs)`` pairs and output arrays.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.backends import FusedFleetForward, UnstackableError
+from repro.variability.sampler import ChipVariation
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Contiguous partition of the fleet's index space into shards.
+
+    ``bounds`` has one more element than there are shards; shard ``s``
+    owns chip indices ``[bounds[s], bounds[s+1])``.  Contiguity keeps the
+    mapping pure and cheap (a bisect), and spare provisioning preserves
+    it for free: a replacement chip inherits its predecessor's slot
+    index, so it lands on the same shard without any rebalancing.
+    """
+
+    bounds: tuple[int, ...]
+
+    @classmethod
+    def build(cls, num_chips: int, shards: int) -> "ShardPlan":
+        """Partition ``num_chips`` indices into ``shards`` near-equal shards.
+
+        ``shards`` is clamped to ``[1, num_chips]``; the first
+        ``num_chips % shards`` shards are one chip larger, so sizes never
+        differ by more than one.
+        """
+        if num_chips < 1:
+            raise ValueError(f"num_chips must be >= 1, got {num_chips}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        shards = min(int(shards), int(num_chips))
+        base, extra = divmod(int(num_chips), shards)
+        bounds = [0]
+        for shard in range(shards):
+            bounds.append(bounds[-1] + base + (1 if shard < extra else 0))
+        return cls(tuple(bounds))
+
+    @property
+    def shards(self) -> int:
+        """Number of shards in the plan."""
+        return len(self.bounds) - 1
+
+    @property
+    def num_chips(self) -> int:
+        """Total number of chip indices the plan covers."""
+        return self.bounds[-1]
+
+    def shard_of(self, index: int) -> int:
+        """The shard owning chip ``index``."""
+        if not 0 <= index < self.num_chips:
+            raise IndexError(f"chip index {index} outside [0, {self.num_chips})")
+        return bisect_right(self.bounds, index) - 1
+
+    def members(self, shard: int) -> range:
+        """The chip indices shard ``shard`` owns."""
+        return range(self.bounds[shard], self.bounds[shard + 1])
+
+    def describe(self) -> dict:
+        """JSON-friendly plan summary (shard count and sizes)."""
+        return {
+            "shards": self.shards,
+            "sizes": [len(self.members(shard)) for shard in range(self.shards)],
+        }
+
+
+@dataclass(frozen=True)
+class ChipStateRef:
+    """Everything a worker needs to own one chip's programmed state.
+
+    ``(eps_between, sigma_within, seed)`` realize the chip's
+    :class:`~repro.variability.sampler.ChipVariation` bit-exactly;
+    ``eps_between`` is the *current* (possibly drifted) value, since drift
+    moves only that scalar while the seeded within-chip patterns stay
+    frozen.  ``sticky`` carries the chip's pinned stuck-at fault map (a
+    ``(FaultSpec, seed)`` pair, or ``None``) — stuck cells are physical
+    damage that must survive every reprogram, on the worker exactly as on
+    the coordinator.  ``epoch`` is the programmed-state generation: the
+    coordinator bumps it on non-drift mutations (fault injection,
+    recalibration) and the worker drops its copy and rebuilds whenever
+    the epoch moves.  ``spec`` is the chip's
+    :class:`~repro.variability.sampler.VariabilitySpec` (variance model
+    included), so heterogeneous fleets program per-technology on workers
+    exactly as in-process.
+    """
+
+    chip_id: str
+    eps_between: float
+    sigma_within: float
+    seed: int
+    spec: object
+    sticky: tuple | None
+    epoch: int
+
+
+class _ShardWorker:
+    """One worker's chip store: programs, refreshes, and runs its shard.
+
+    Lives inside the forked process.  Chips are programmed on first
+    traffic from the shipped :class:`ChipStateRef` (program → sticky
+    faults → refresh, the exact in-process ``_program`` sequence),
+    refreshed in place when only ``eps_between`` drifted, and rebuilt
+    from scratch when the epoch moved.  Forwards of multi-batch ticks go
+    through a :class:`~repro.backends.FusedFleetForward` over every chip
+    this worker has programmed, rebuilt lazily via ``covers`` — the same
+    reuse discipline as the in-process fused path.
+    """
+
+    def __init__(self, model, backend) -> None:
+        self.model = model
+        self.backend = backend
+        self._programmed: dict[str, object] = {}
+        self._variations: dict[str, ChipVariation] = {}
+        self._state: dict[str, tuple[int, float]] = {}
+        self._fused: FusedFleetForward | None = None
+        self._fusible = True
+        self.programs = 0
+        self.refreshes = 0
+        self.program_seconds = 0.0
+
+    def _realize(self, ref: ChipStateRef):
+        """The worker-side ``programmed_for``: program or refresh from a ref."""
+        programmed = self._programmed.get(ref.chip_id)
+        state = self._state.get(ref.chip_id)
+        if programmed is not None and state[0] != ref.epoch:
+            programmed = None  # non-drift mutation: rebuild from scratch
+        if programmed is None:
+            variation = ChipVariation(ref.eps_between, ref.sigma_within, ref.seed)
+            started = time.perf_counter()
+            programmed = self.backend.program(
+                self.model, variation, spec=ref.spec, chip_id=ref.chip_id
+            )
+            if ref.sticky is not None:
+                fault_spec, fault_seed = ref.sticky
+                programmed.apply_faults(fault_spec, seed=fault_seed)
+                programmed.refresh(variation)
+            self.program_seconds += time.perf_counter() - started
+            self.programs += 1
+            self._programmed[ref.chip_id] = programmed
+            self._variations[ref.chip_id] = variation
+            self._state[ref.chip_id] = (ref.epoch, ref.eps_between)
+        elif state[1] != ref.eps_between:
+            # Drift moved eps_between: refresh in place, exactly like the
+            # coordinator's lazy stale refresh (no reprogramming).
+            variation = self._variations[ref.chip_id]
+            variation.eps_between = float(ref.eps_between)
+            programmed.refresh(variation)
+            self.refreshes += 1
+            self._state[ref.chip_id] = (ref.epoch, ref.eps_between)
+        return programmed
+
+    def _fused_for(self, programmed: list) -> FusedFleetForward | None:
+        """A fused forward covering ``programmed``, rebuilt lazily."""
+        if not self._fusible:
+            return None
+        if self._fused is not None and self._fused.covers(programmed):
+            return self._fused
+        members = list(self._programmed.values())
+        try:
+            self._fused = FusedFleetForward.build(members)
+        except UnstackableError:
+            # Per-chip forwards stay bit-identical; remember so the
+            # (validating, raising) build is not retried every tick.
+            self._fused = None
+            self._fusible = False
+            return None
+        return self._fused if self._fused.covers(programmed) else None
+
+    def run(self, items: list) -> tuple[list, dict]:
+        """Run one tick's ``(ChipStateRef, inputs)`` items; outputs in order."""
+        programmed = [self._realize(ref) for ref, _ in items]
+        fused = self._fused_for(programmed) if len(items) > 1 else None
+        if fused is not None:
+            outputs = fused.forward(
+                [(chip, inputs) for chip, (_, inputs) in zip(programmed, items)]
+            )
+        else:
+            outputs = [chip.forward(inputs) for chip, (_, inputs) in zip(programmed, items)]
+        delta = {
+            "batches": len(items),
+            "rows": sum(int(inputs.shape[0]) for _, inputs in items),
+            "programs": self.programs,
+            "refreshes": self.refreshes,
+            "program_seconds": self.program_seconds,
+            "resident": len(self._programmed),
+        }
+        self.programs = 0
+        self.refreshes = 0
+        self.program_seconds = 0.0
+        return outputs, delta
+
+
+def _worker_main(conn, model, backend) -> None:
+    """Worker process loop: receive tick items, send ``(outputs, delta)``.
+
+    Protocol: the coordinator sends a list of ``(ChipStateRef, inputs)``
+    pairs per tick and ``None`` to shut down; the worker answers
+    ``("ok", outputs, delta)`` or ``("error", message)`` — it never dies
+    silently mid-conversation.
+    """
+    worker = _ShardWorker(model, backend)
+    while True:
+        try:
+            items = conn.recv()
+        except EOFError:
+            break
+        if items is None:
+            break
+        try:
+            outputs, delta = worker.run(items)
+        except Exception as error:  # surfaced as RuntimeError on the coordinator
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+            continue
+        conn.send(("ok", outputs, delta))
+    conn.close()
+
+
+class ShardPool:
+    """Coordinator-side handle on one forked worker process per shard.
+
+    Workers start lazily on the first :meth:`run_tick` (so a sharded
+    engine that never dispatches costs nothing) and are forked, so they
+    inherit the golden model and backend without pickling either.  They
+    run as daemons — an unclosed pool cannot hang interpreter exit — but
+    :meth:`close` should still be called for prompt teardown.
+    """
+
+    def __init__(self, plan: ShardPlan, model, backend) -> None:
+        self.plan = plan
+        self._model = model
+        self._backend = backend
+        self._workers: list[tuple[object, object]] | None = None
+
+    @staticmethod
+    def available() -> bool:
+        """Whether this platform supports fork-start workers."""
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    @property
+    def started(self) -> bool:
+        """Whether the worker processes are running."""
+        return self._workers is not None
+
+    def start(self) -> None:
+        """Fork one worker per shard (idempotent)."""
+        if self._workers is not None:
+            return
+        context = multiprocessing.get_context("fork")
+        workers = []
+        for _ in range(self.plan.shards):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, self._model, self._backend),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            workers.append((process, parent_conn))
+        self._workers = workers
+
+    def run_tick(self, items: list) -> tuple[list, list]:
+        """Run one tick's staged work across the shards.
+
+        ``items`` is a list of ``(shard, ChipStateRef, inputs)`` triples
+        in staged dispatch order.  Work is scattered per shard, gathered
+        in canonical shard order, and outputs are returned in the input
+        order; the second return value is ``[(shard, delta), ...]`` in
+        shard order — the deterministic merge order the telemetry layer
+        relies on.
+        """
+        self.start()
+        per_shard: dict[int, list] = {}
+        for position, (shard, ref, inputs) in enumerate(items):
+            per_shard.setdefault(shard, []).append((position, ref, inputs))
+        shards = sorted(per_shard)
+        for shard in shards:
+            _, conn = self._workers[shard]
+            conn.send([(ref, inputs) for _, ref, inputs in per_shard[shard]])
+        outputs: list = [None] * len(items)
+        deltas: list = []
+        for shard in shards:
+            _, conn = self._workers[shard]
+            try:
+                reply = conn.recv()
+            except EOFError:
+                raise RuntimeError(f"shard worker {shard} died mid-tick") from None
+            if reply[0] != "ok":
+                raise RuntimeError(f"shard worker {shard} failed: {reply[1]}")
+            _, shard_outputs, delta = reply
+            for (position, _, _), out in zip(per_shard[shard], shard_outputs):
+                outputs[position] = out
+            deltas.append((shard, delta))
+        return outputs, deltas
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent; safe on a never-started pool)."""
+        if self._workers is None:
+            return
+        workers, self._workers = self._workers, None
+        for process, conn in workers:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for process, _ in workers:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+
+    def __repr__(self) -> str:
+        state = "started" if self.started else "cold"
+        return f"ShardPool(shards={self.plan.shards}, {state})"

@@ -102,6 +102,18 @@ class ChipVariation:
         """
         return self.eps_between + self.within_pattern(key, shape)
 
+    def release_patterns(self) -> None:
+        """Drop the cached per-layer eps_W arrays (the chip's heavy state).
+
+        The patterns are pure functions of ``(seed, layer key)``, so a
+        released chip re-derives bit-identical arrays on the next
+        :meth:`within_pattern` query.  ``eps_between`` (including drift
+        state on subclasses) and :attr:`measurements` are untouched — this
+        is the spill primitive large lazy fleets use to bound resident
+        memory (see :mod:`repro.serve.shard`).
+        """
+        self._cache.clear()
+
     def __repr__(self) -> str:
         return (
             f"ChipVariation(eps_between={self.eps_between:+.4f}, "
@@ -116,14 +128,25 @@ class VariabilitySampler:
         self.spec = spec
         self._rng = np.random.default_rng(seed)
 
-    def sample_chip(self) -> ChipVariation:
-        """Sample one chip (one eps_B; eps_W drawn lazily per layer)."""
+    def sample_chip_params(self) -> tuple[float, float, int]:
+        """Draw one chip's ``(eps_between, sigma_within, seed)`` triple.
+
+        Consumes exactly the RNG stream :meth:`sample_chip` consumes, so a
+        caller that stores descriptors and realizes
+        :class:`ChipVariation` objects later (lazy fleets, see
+        :class:`repro.serve.engine.ChipDescriptor`) produces chips
+        bit-identical to eager sampling.
+        """
         if self.spec.sigma_between > 0.0:
-            eps_b = self._rng.normal(0.0, self.spec.sigma_between)
+            eps_b = float(self._rng.normal(0.0, self.spec.sigma_between))
         else:
             eps_b = 0.0
         seed = int(self._rng.integers(0, 2**31 - 1))
-        return ChipVariation(eps_b, self.spec.sigma_within, seed)
+        return eps_b, float(self.spec.sigma_within), seed
+
+    def sample_chip(self) -> ChipVariation:
+        """Sample one chip (one eps_B; eps_W drawn lazily per layer)."""
+        return ChipVariation(*self.sample_chip_params())
 
     def sample_chips(self, count: int) -> list[ChipVariation]:
         """Sample ``count`` independent chips (a Monte Carlo test population)."""

@@ -1,0 +1,458 @@
+"""Tests for ``repro.serve.shard``: lazy fleets and sharded execution.
+
+Two contracts are pinned here.  *Laziness*: a fleet constructs in
+O(descriptors) memory, nothing realizes a chip except actual traffic, and
+``ServeConfig.max_resident_chips`` is a hard ceiling on resident mappings
+with deterministic spill/re-realization (sticky fault maps included).
+*Parity*: ``ServeConfig(shards=N)`` must be indistinguishable from serial
+execution in everything the engine accounts for — per-request logits
+(bit-equal), chip assignments, and the telemetry digest — across
+policies, replay traces, drift + recalibration, sticky fault maps, and
+spare provisioning, on both backends; chaos and self-tuning runs fall
+back to the in-process path structurally.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import batch_iterator
+from repro.datasets.synthetic import make_pattern_dataset
+from repro.models import build_model
+from repro.nn import init
+from repro.quant.calibration import calibrate_model
+from repro.quant.ptq import convert_to_quantized
+from repro.quant.qconfig import QConfig
+from repro.selftuning.tuner import SelfTuningConfig
+from repro.serve import (
+    ChipLifecycle,
+    FaultInjector,
+    FaultPlan,
+    FleetSpec,
+    InferenceEngine,
+    LifecycleConfig,
+    ReplayTrace,
+    ServeConfig,
+    ShardPlan,
+    ShardPool,
+    UniformTrace,
+)
+from repro.variability.faults import FaultSpec
+from repro.variability.models import WeightProportionalVariance
+from repro.variability.sampler import VariabilitySpec
+
+needs_fork = pytest.mark.skipif(
+    not ShardPool.available(), reason="fork start method unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def served_model():
+    init.seed(0)
+    dataset = make_pattern_dataset(5, 16, (1, 28, 28), seed=7, max_shift=1, noise=0.2)
+    model = build_model("lenet5-mini", num_classes=5, in_channels=1)
+    convert_to_quantized(model, QConfig.from_notation("A4W2"))
+    calibrate_model(model, batch_iterator(dataset, 16, shuffle=False), max_batches=3)
+    model.eval()
+    return model, dataset
+
+
+def _spec(sigma=0.2):
+    return VariabilitySpec.mixed(sigma, WeightProportionalVariance())
+
+
+def _engine(model, shards=0, num_chips=4, fleet_spec=None, **config):
+    config.setdefault("max_batch", 4)
+    config.setdefault("max_wait", 2)
+    config.setdefault("seed", 5)
+    return InferenceEngine(
+        model,
+        _spec(),
+        num_chips=num_chips,
+        config=ServeConfig(shards=shards, **config),
+        fleet_spec=fleet_spec,
+    )
+
+
+def _workload(dataset, requests):
+    reps = 1 + (requests - 1) // len(dataset.images)
+    return np.concatenate([dataset.images] * reps)[:requests]
+
+
+def _serve_bursty(engine, workload, per_tick=12, deadline_ticks=20):
+    """Submit ``per_tick`` requests between steps: several due batches per
+    tick, which is what gives the sharded path groups to scatter."""
+    for i, sample in enumerate(workload):
+        engine.submit(
+            sample, request_id=f"r{i:04d}", deadline=engine.now + deadline_ticks
+        )
+        if (i + 1) % per_tick == 0:
+            engine.step()
+    engine.drain()
+    return engine
+
+
+def _snapshot(engine):
+    outputs = {rid: done.output for rid, done in engine.completed.items()}
+    chips = {rid: done.chip_id for rid, done in engine.completed.items()}
+    return outputs, chips, engine.telemetry.digest()
+
+
+def _assert_equivalent(sharded_engine, serial_engine):
+    out_s, chips_s, digest_s = _snapshot(sharded_engine)
+    out_p, chips_p, digest_p = _snapshot(serial_engine)
+    assert set(out_s) == set(out_p)
+    assert chips_s == chips_p
+    assert all(np.array_equal(out_s[rid], out_p[rid]) for rid in out_p)
+    assert digest_s == digest_p
+
+
+# ----------------------------------------------------------------------
+# ShardPlan
+# ----------------------------------------------------------------------
+def test_shard_plan_partitions_contiguously():
+    plan = ShardPlan.build(10, 3)
+    assert plan.shards == 3
+    assert plan.num_chips == 10
+    assert [len(plan.members(s)) for s in range(plan.shards)] == [4, 3, 3]
+    # Every index maps to exactly the shard whose members contain it.
+    for shard in range(plan.shards):
+        for index in plan.members(shard):
+            assert plan.shard_of(index) == shard
+    assert plan.describe() == {"shards": 3, "sizes": [4, 3, 3]}
+
+
+def test_shard_plan_clamps_shards_to_fleet():
+    plan = ShardPlan.build(2, 8)
+    assert plan.shards == 2
+    assert [len(plan.members(s)) for s in range(plan.shards)] == [1, 1]
+
+
+def test_shard_plan_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        ShardPlan.build(0, 2)
+    with pytest.raises(ValueError):
+        ShardPlan.build(4, 0)
+    plan = ShardPlan.build(4, 2)
+    with pytest.raises(IndexError):
+        plan.shard_of(4)
+    with pytest.raises(IndexError):
+        plan.shard_of(-1)
+
+
+# ----------------------------------------------------------------------
+# FleetSpec.parse validation (satellite)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fragment", ["rram:0", "flash:-2"])
+def test_fleet_spec_rejects_nonpositive_counts(fragment):
+    with pytest.raises(ValueError, match=fragment):
+        FleetSpec.parse(f"rram:2,{fragment}")
+
+
+def test_fleet_spec_still_parses_valid_groups():
+    spec = FleetSpec.parse("rram:2,flash:1@0.5")
+    assert spec.num_chips == 3
+    assert spec.groups[1].sigma_scale == 0.5
+
+
+# ----------------------------------------------------------------------
+# Lazy fleets: construction, realization, spill
+# ----------------------------------------------------------------------
+def test_thousand_chip_fleet_constructs_unrealized(served_model):
+    model, _ = served_model
+    engine = _engine(model, num_chips=1000, max_resident_chips=8)
+    assert len(engine.fleet) == 1000
+    assert not any(chip.realized for chip in engine.fleet)
+    # Effective cache capacity is the resident-chip bound.
+    assert engine.cache.capacity == 8
+
+
+def test_chip_lookup_does_not_force_realization(served_model):
+    model, _ = served_model
+    engine = _engine(model, num_chips=64)
+    chip = engine.chip_by_id("chip32")
+    assert chip is not None and chip.index == 32
+    assert not chip.realized
+    # repr / policy-visible bookkeeping must not realize either.
+    repr(chip)
+    assert not any(c.realized for c in engine.fleet)
+
+
+def test_only_dispatched_chips_realize(served_model):
+    model, dataset = served_model
+    engine = _engine(model, num_chips=8)
+    engine.submit(dataset.images[0], request_id="solo")
+    engine.step()
+    engine.drain()
+    assert "solo" in engine.completed
+    assert sum(chip.realized for chip in engine.fleet) == 1
+
+
+def test_max_resident_chips_bounds_cache_and_spills(served_model):
+    model, dataset = served_model
+    engine = _engine(model, num_chips=12, max_resident_chips=4, cache_capacity=64)
+    assert engine.cache.capacity == 4  # min(cache_capacity, max_resident_chips)
+    _serve_bursty(engine, _workload(dataset, 48))
+    stats = engine.cache.stats
+    assert stats.peak_resident <= 4
+    assert stats.spills > 0
+    assert stats.spills <= stats.evictions
+    assert len(engine.completed) == 48
+
+
+def test_spilled_chip_rerealizes_bit_exactly(served_model):
+    model, dataset = served_model
+    engine = _engine(model, num_chips=2, max_resident_chips=1)
+    probe = dataset.images[:3]
+    chip0, chip1 = engine.fleet
+    before = engine.programmed_for(chip0).forward(probe)
+    engine.programmed_for(chip1)  # evicts + spills chip0
+    assert engine.cache.stats.spills == 1
+    after = engine.programmed_for(chip0).forward(probe)
+    assert np.array_equal(before, after)
+
+
+def test_sticky_faults_survive_spill_and_rerealization(served_model):
+    model, dataset = served_model
+    engine = _engine(model, num_chips=2, max_resident_chips=1)
+    probe = dataset.images[:3]
+    chip0, chip1 = engine.fleet
+    engine.inject_chip_faults(
+        chip0, FaultSpec(p_stuck_off=0.05, p_stuck_on=0.02), seed=9
+    )
+    faulted = engine.programmed_for(chip0).forward(probe)
+    engine.programmed_for(chip1)  # evicts + spills the faulted chip
+    refaulted = engine.programmed_for(chip0).forward(probe)
+    assert np.array_equal(faulted, refaulted)
+
+
+def test_replace_chip_on_never_realized_chip(served_model):
+    model, dataset = served_model
+    engine = _engine(model, num_chips=4)
+    victim = engine.fleet[1]
+    assert not victim.realized
+    replacement = engine.replace_chip(victim, reason="test")
+    assert replacement.chip_id == f"{victim.chip_id}+1"
+    assert not victim.realized  # replacing never materialized the old chip
+    assert not replacement.realized
+    _serve_bursty(engine, _workload(dataset, 16))
+    assert len(engine.completed) == 16
+
+
+# ----------------------------------------------------------------------
+# Sharded execution parity
+# ----------------------------------------------------------------------
+@needs_fork
+@pytest.mark.parametrize("backend", ["fake-quant", "circuit"])
+def test_sharded_serving_is_bit_identical(served_model, backend):
+    model, dataset = served_model
+    workload = _workload(dataset, 36)
+    sharded = _serve_bursty(_engine(model, shards=2, backend=backend), workload)
+    serial = _serve_bursty(_engine(model, shards=0, backend=backend), workload)
+    try:
+        _assert_equivalent(sharded, serial)
+        assert sharded.telemetry.shard_groups > 0
+        assert sharded.telemetry.shard_batches > sharded.telemetry.shard_groups
+        assert serial.telemetry.shard_groups == 0
+    finally:
+        sharded.close()
+        serial.close()
+
+
+@needs_fork
+@pytest.mark.parametrize("policy", ["round-robin", "least-loaded", "energy-aware"])
+def test_sharded_parity_across_policies(served_model, policy):
+    """Coordinator-side staging books the exact counter/energy state every
+    load-aware policy reads, so routing matches serial bit-for-bit."""
+    model, dataset = served_model
+    workload = _workload(dataset, 36)
+    sharded = _serve_bursty(_engine(model, shards=2, policy=policy), workload)
+    serial = _serve_bursty(_engine(model, shards=0, policy=policy), workload)
+    try:
+        _assert_equivalent(sharded, serial)
+        assert sharded.telemetry.shard_groups > 0
+    finally:
+        sharded.close()
+        serial.close()
+
+
+@needs_fork
+def test_sharded_parity_on_replay_trace(served_model):
+    model, dataset = served_model
+    workload = _workload(dataset, 40)
+    ids = [f"t{i:04d}" for i in range(len(workload))]
+    trace = ReplayTrace.from_trace(UniformTrace(rate=10.0), len(ids))
+    sharded = _engine(model, shards=2)
+    serial = _engine(model, shards=0)
+    try:
+        out_s = sharded.run_trace(workload, trace, ids=ids)
+        out_p = serial.run_trace(workload, trace, ids=ids)
+        assert set(out_s) == set(out_p)
+        assert all(np.array_equal(out_s[rid], out_p[rid]) for rid in out_p)
+        assert sharded.telemetry.digest() == serial.telemetry.digest()
+    finally:
+        sharded.close()
+        serial.close()
+
+
+@needs_fork
+def test_sharded_parity_across_recalibration(served_model):
+    """Reprogramming bumps the chip's shard epoch; workers rebuild their
+    copy and stay bit-identical."""
+    model, dataset = served_model
+    workload = _workload(dataset, 48)
+    engines = []
+    for shards in (2, 0):
+        engine = _engine(model, shards=shards)
+        _serve_bursty(engine, workload[:24])
+        engine.reprogram(engine.fleet[0])
+        _serve_bursty(engine, workload[24:])
+        engines.append(engine)
+    try:
+        _assert_equivalent(*engines)
+        assert engines[0].telemetry.shard_groups > 0
+    finally:
+        for engine in engines:
+            engine.close()
+
+
+@needs_fork
+def test_sharded_parity_across_fault_map_and_replacement(served_model):
+    """A sticky stuck-at map ships with the ChipStateRef (epoch bumped) and
+    spare provisioning swaps the slot in place — both stay bit-identical."""
+    model, dataset = served_model
+    workload = _workload(dataset, 48)
+    engines = []
+    for shards in (2, 0):
+        engine = _engine(model, shards=shards)
+        _serve_bursty(engine, workload[:16])
+        engine.inject_chip_faults(
+            engine.fleet[1], FaultSpec(p_stuck_off=0.05, p_stuck_on=0.02), seed=9
+        )
+        _serve_bursty(engine, workload[16:32])
+        engine.replace_chip(engine.fleet[1], reason="test")
+        _serve_bursty(engine, workload[32:])
+        engines.append(engine)
+    try:
+        _assert_equivalent(*engines)
+        assert engines[0].telemetry.shard_groups > 0
+    finally:
+        for engine in engines:
+            engine.close()
+
+
+@needs_fork
+@pytest.mark.parametrize("backend", ["fake-quant", "circuit"])
+def test_sharded_parity_under_drifting_lifecycle(served_model, backend):
+    """Drift refreshes (eps_between only) and recalibration both reach the
+    workers through ChipStateRef — digests match serial on both backends."""
+    model, dataset = served_model
+    workload = _workload(dataset, 60)
+    ids = [f"d{i:04d}" for i in range(len(workload))]
+    trace = ReplayTrace.from_trace(UniformTrace(rate=12.0), len(ids))
+    lifecycle_config = LifecycleConfig(
+        dt=1.0, probe_every=6.0, accuracy_floor=0.95, probe_subset=16, seed=3
+    )
+    results = []
+    for shards in (2, 0):
+        engine = InferenceEngine(
+            model,
+            _spec(),
+            num_chips=4,
+            config=ServeConfig(
+                max_batch=4, max_wait=2, seed=5, backend=backend, shards=shards
+            ),
+            fleet_spec=FleetSpec.parse("rram:2,flash:2"),
+        )
+        lifecycle = ChipLifecycle(engine, dataset, lifecycle_config)
+        lifecycle.install()
+        outputs = engine.run_trace(workload, trace, ids=ids, lifecycle=lifecycle)
+        results.append((engine, lifecycle, outputs))
+    (sharded, life_s, out_s), (serial, life_p, out_p) = results
+    try:
+        assert set(out_s) == set(out_p)
+        assert all(np.array_equal(out_s[rid], out_p[rid]) for rid in out_p)
+        assert sharded.telemetry.digest() == serial.telemetry.digest()
+        assert len(life_s.events) == len(life_p.events)
+    finally:
+        sharded.close()
+        serial.close()
+
+
+@needs_fork
+def test_chaos_run_falls_back_to_serial_path(served_model):
+    """An installed fault injector makes the tick unshardable, so a chaos
+    run is identical with sharding on or off — schedule, letters, bits."""
+    model, dataset = served_model
+    workload = _workload(dataset, 40)
+    ids = [f"c{i:04d}" for i in range(len(workload))]
+    trace = ReplayTrace.from_trace(UniformTrace(rate=10.0), len(ids))
+    engines = []
+    for shards in (2, 0):
+        engine = _engine(model, shards=shards, num_chips=6)
+        engine.warm_up()
+        FaultInjector(engine, FaultPlan(seed=3)).install()
+        engine.run_trace(workload, trace, ids=ids)
+        engines.append(engine)
+    chaos_sharded, chaos_serial = engines
+    try:
+        assert chaos_sharded.faults.schedule == chaos_serial.faults.schedule
+        assert set(chaos_sharded.dead_letters) == set(chaos_serial.dead_letters)
+        _assert_equivalent(chaos_sharded, chaos_serial)
+        assert chaos_sharded.telemetry.shard_groups == 0  # structural fallback
+    finally:
+        for engine in engines:
+            engine.close()
+
+
+@needs_fork
+def test_self_tuning_disables_sharding(served_model):
+    model, dataset = served_model
+    engine = _engine(
+        model, shards=2, backend="fake-quant", self_tuning=SelfTuningConfig()
+    )
+    try:
+        _serve_bursty(engine, _workload(dataset, 24))
+        assert engine.telemetry.shard_groups == 0
+        assert len(engine.completed) == 24
+    finally:
+        engine.close()
+
+
+@needs_fork
+def test_sharded_run_keeps_coordinator_lazy(served_model):
+    """Sharded staging never materializes mappings on the coordinator: the
+    workers own all heavy chip state, so a sharded thousand-class fleet
+    serves with zero coordinator-resident chips."""
+    model, dataset = served_model
+    engine = _engine(model, shards=2, num_chips=16, max_resident_chips=4)
+    serial = _engine(model, shards=0, num_chips=16, max_resident_chips=4)
+    workload = _workload(dataset, 36)
+    try:
+        _serve_bursty(engine, workload)
+        _serve_bursty(serial, workload)
+        _assert_equivalent(engine, serial)
+        assert not any(chip.realized for chip in engine.fleet)
+        assert engine.cache.stats.peak_resident == 0
+    finally:
+        engine.close()
+        serial.close()
+
+
+@needs_fork
+def test_shard_deltas_are_reported_not_digested(served_model):
+    model, dataset = served_model
+    engine = _serve_bursty(_engine(model, shards=2), _workload(dataset, 36))
+    try:
+        digest_before = engine.telemetry.digest()
+        section = engine.telemetry.report()["sharded"]
+        assert section["groups"] == engine.telemetry.shard_groups
+        assert section["batches"] == engine.telemetry.shard_batches
+        workers = section["workers"]
+        assert workers  # at least one shard reported a delta
+        assert sum(delta["programs"] for delta in workers.values()) >= 2
+        assert sum(delta["rows"] for delta in workers.values()) == 36
+        # Worker-side deltas are report-only: merging them must never have
+        # moved the digest.
+        assert engine.telemetry.digest() == digest_before
+    finally:
+        engine.close()
